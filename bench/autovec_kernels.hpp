@@ -1,0 +1,52 @@
+#pragma once
+/// \file autovec_kernels.hpp
+/// \brief Kernels for the manual-vs-compiler-vectorization ablation
+/// (paper contribution 5). The same standard-representation Child loop is
+/// compiled in two translation units: one at the paper's -O3 (compiler
+/// auto-vectorization enabled) and one with -fno-tree-vectorize
+/// (-fno-slp-vectorize equivalent), to isolate what GCC's auto-vectorizer
+/// achieves on the AoS quadrant layout versus our hand-written AVX2
+/// intrinsics.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/quadrant_std.hpp"
+
+namespace qforest::bench {
+
+/// Child over a plain coordinate SoA (the auto-vectorizer's best case).
+struct SoAQuads {
+  std::vector<std::int32_t> x, y, z;
+  std::vector<std::int8_t> level;
+};
+
+/// Compiled with -O3 auto-vectorization (autovec_on.cpp).
+std::uint32_t child_loop_autovec(const SoAQuads& q, const std::uint8_t* c,
+                                 std::size_t n);
+
+/// Same source compiled with -fno-tree-vectorize (autovec_off.cpp).
+std::uint32_t child_loop_novec(const SoAQuads& q, const std::uint8_t* c,
+                               std::size_t n);
+
+/// Shared loop body included by both TUs.
+template <class Tag>
+std::uint32_t child_loop_impl(const SoAQuads& q, const std::uint8_t* c,
+                              std::size_t n) {
+  using S = StandardRep<3>;
+  std::uint32_t sink = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t shift =
+        S::length_at(static_cast<int>(q.level[i]) + 1);
+    const std::int32_t cx = (c[i] & 1) ? q.x[i] | shift : q.x[i];
+    const std::int32_t cy = (c[i] & 2) ? q.y[i] | shift : q.y[i];
+    const std::int32_t cz = (c[i] & 4) ? q.z[i] | shift : q.z[i];
+    sink ^= static_cast<std::uint32_t>(cx) ^ static_cast<std::uint32_t>(cy) ^
+            static_cast<std::uint32_t>(cz) ^
+            static_cast<std::uint32_t>(q.level[i] + 1);
+  }
+  return sink;
+}
+
+}  // namespace qforest::bench

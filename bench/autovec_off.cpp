@@ -1,0 +1,16 @@
+/// \file autovec_off.cpp
+/// \brief Child loop compiled with -fno-tree-vectorize: the pure scalar
+/// baseline of the vectorization ablation.
+
+#include "autovec_kernels.hpp"
+
+namespace qforest::bench {
+
+struct AutoVecOffTag {};
+
+std::uint32_t child_loop_novec(const SoAQuads& q, const std::uint8_t* c,
+                               std::size_t n) {
+  return child_loop_impl<AutoVecOffTag>(q, c, n);
+}
+
+}  // namespace qforest::bench

@@ -1,0 +1,16 @@
+/// \file autovec_on.cpp
+/// \brief Child loop compiled with the paper's flags (-O3, compiler
+/// auto-vectorization enabled); see CMakeLists for the per-file options.
+
+#include "autovec_kernels.hpp"
+
+namespace qforest::bench {
+
+struct AutoVecOnTag {};
+
+std::uint32_t child_loop_autovec(const SoAQuads& q, const std::uint8_t* c,
+                                 std::size_t n) {
+  return child_loop_impl<AutoVecOnTag>(q, c, n);
+}
+
+}  // namespace qforest::bench

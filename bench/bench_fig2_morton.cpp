@@ -1,0 +1,60 @@
+/// \file bench_fig2_morton.cpp
+/// \brief Figure 2: strong scaling of Morton (index -> quadrant
+/// construction; paper Algorithms 1, 4 and 11) in the three quadrant
+/// representations. The paper reports a 77% average boost for the raw
+/// Morton index (the transformation is nearly the identity) and 17% for
+/// AVX2 versus the standard bit loop.
+
+#include "figure.hpp"
+
+namespace qforest::bench {
+namespace {
+
+using S = StandardRep<3>;
+using M = MortonRep<3>;
+using A = AvxRep<3>;
+
+void kernel_std(const Workload<S>& w, std::size_t b, std::size_t e) {
+  std::uint32_t sink = 0;
+  for (std::size_t i = b; i < e; ++i) {
+    const auto& it = w.items[i];
+    const auto q = S::morton_quadrant(it.level_index, it.level);
+    sink ^= static_cast<std::uint32_t>(q.x) ^
+            static_cast<std::uint32_t>(q.y) ^
+            static_cast<std::uint32_t>(q.z) ^
+            static_cast<std::uint32_t>(q.level);
+  }
+  do_not_optimize(sink);
+}
+
+void kernel_morton(const Workload<M>& w, std::size_t b, std::size_t e) {
+  std::uint64_t sink = 0;
+  for (std::size_t i = b; i < e; ++i) {
+    const auto& it = w.items[i];
+    sink ^= M::morton_quadrant(it.level_index, it.level);
+  }
+  do_not_optimize(sink);
+}
+
+void kernel_avx(const Workload<A>& w, std::size_t b, std::size_t e) {
+  simd::Vec128 sink;
+  for (std::size_t i = b; i < e; ++i) {
+    const auto& it = w.items[i];
+    sink = sink ^ A::morton_quadrant(it.level_index, it.level);
+  }
+  do_not_optimize(sink);
+}
+
+}  // namespace
+}  // namespace qforest::bench
+
+int main(int argc, char** argv) {
+  using namespace qforest::bench;
+  const auto cfg = FigureConfig::from_env();
+  run_figure("Figure 2", "Morton (index -> quadrant)",
+             "morton-id +77% avg, avx +17% avg vs standard", kernel_std,
+             kernel_morton, kernel_avx, cfg);
+  register_micro_benchmarks("fig2_morton", kernel_std, kernel_morton,
+                            kernel_avx, cfg);
+  return figure_main(argc, argv);
+}

@@ -1,0 +1,68 @@
+/// \file bench_fig3_child.cpp
+/// \brief Figure 3: strong scaling of Child (paper Algorithms 2, 6, 9).
+/// Paper: morton-id +20%, avx +29% average boost vs standard — the AVX
+/// version replaces the per-coordinate conditionals by masked lane ops
+/// (30-46% fewer operations per the paper's §2.3 count).
+
+#include "figure.hpp"
+
+namespace qforest::bench {
+namespace {
+
+using S = StandardRep<3>;
+using M = MortonRep<3>;
+using A = AvxRep<3>;
+
+void kernel_std(const Workload<S>& w, std::size_t b, std::size_t e) {
+  std::uint32_t sink = 0;
+  for (std::size_t i = b; i < e; ++i) {
+    const auto& q = w.quads[i];
+    if (q.level >= S::max_level) {
+      continue;
+    }
+    const auto r = S::child(q, w.items[i].child);
+    sink ^= static_cast<std::uint32_t>(r.x) ^
+            static_cast<std::uint32_t>(r.y) ^
+            static_cast<std::uint32_t>(r.z) ^
+            static_cast<std::uint32_t>(r.level);
+  }
+  do_not_optimize(sink);
+}
+
+void kernel_morton(const Workload<M>& w, std::size_t b, std::size_t e) {
+  std::uint64_t sink = 0;
+  for (std::size_t i = b; i < e; ++i) {
+    const auto q = w.quads[i];
+    if (M::level(q) >= M::max_level) {
+      continue;
+    }
+    sink ^= M::child(q, w.items[i].child);
+  }
+  do_not_optimize(sink);
+}
+
+void kernel_avx(const Workload<A>& w, std::size_t b, std::size_t e) {
+  simd::Vec128 sink;
+  for (std::size_t i = b; i < e; ++i) {
+    const auto& q = w.quads[i];
+    if (A::level(q) >= A::max_level) {
+      continue;
+    }
+    sink = sink ^ A::child(q, w.items[i].child);
+  }
+  do_not_optimize(sink);
+}
+
+}  // namespace
+}  // namespace qforest::bench
+
+int main(int argc, char** argv) {
+  using namespace qforest::bench;
+  const auto cfg = FigureConfig::from_env();
+  run_figure("Figure 3", "Child",
+             "morton-id +20% avg, avx +29% avg vs standard", kernel_std,
+             kernel_morton, kernel_avx, cfg);
+  register_micro_benchmarks("fig3_child", kernel_std, kernel_morton,
+                            kernel_avx, cfg);
+  return figure_main(argc, argv);
+}

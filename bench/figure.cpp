@@ -1,0 +1,36 @@
+#include "figure.hpp"
+
+#include <cstdlib>
+
+namespace qforest::bench {
+
+namespace {
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  return std::strtoull(v, nullptr, 10);
+}
+}  // namespace
+
+FigureConfig FigureConfig::from_env() {
+  FigureConfig cfg;
+  cfg.n = static_cast<std::size_t>(
+      env_u64("QFOREST_BENCH_N", kPaperQuadrantCount));
+  cfg.max_tasks = static_cast<int>(env_u64("QFOREST_BENCH_MAX_TASKS", 512));
+  cfg.sweeps = static_cast<int>(env_u64("QFOREST_BENCH_SWEEPS", 3));
+  return cfg;
+}
+
+int figure_main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace qforest::bench

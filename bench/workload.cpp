@@ -1,0 +1,58 @@
+#include "workload.hpp"
+
+#include "core/quadrant_std.hpp"
+
+namespace qforest::bench {
+
+std::vector<WorkItem> make_work_items(std::size_t n, int max_level, int dim,
+                                      std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<WorkItem> items;
+  items.reserve(n);
+  const int num_children = 1 << dim;
+  const int num_faces = 2 * dim;
+  for (std::size_t i = 0; i < n; ++i) {
+    WorkItem it{};
+    it.level = static_cast<std::uint8_t>(
+        rng.next_below(static_cast<std::uint64_t>(max_level) + 1));
+    it.level_index =
+        rng.next_below(morton_t{1} << (dim * it.level));
+    it.child = static_cast<std::uint8_t>(rng.next_below(num_children));
+    it.face = static_cast<std::uint8_t>(rng.next_below(num_faces));
+    // Choose a face whose neighbor stays inside the unit tree so the
+    // FNeigh kernel output is meaningful in every representation. The
+    // root (level 0) has no such face; it keeps face 1 (wrap/exterior).
+    it.interior_face = 1;
+    if (it.level > 0) {
+      if (dim == 3) {
+        const auto q = StandardRep<3>::morton_quadrant(it.level_index,
+                                                       it.level);
+        int tb[3];
+        StandardRep<3>::tree_boundaries(q, tb);
+        for (int f = static_cast<int>(rng.next_below(num_faces)), k = 0;
+             k < num_faces; ++k, f = (f + 1) % num_faces) {
+          if (tb[f >> 1] != f) {
+            it.interior_face = static_cast<std::uint8_t>(f);
+            break;
+          }
+        }
+      } else {
+        const auto q = StandardRep<2>::morton_quadrant(it.level_index,
+                                                       it.level);
+        int tb[2];
+        StandardRep<2>::tree_boundaries(q, tb);
+        for (int f = static_cast<int>(rng.next_below(num_faces)), k = 0;
+             k < num_faces; ++k, f = (f + 1) % num_faces) {
+          if (tb[f >> 1] != f) {
+            it.interior_face = static_cast<std::uint8_t>(f);
+            break;
+          }
+        }
+      }
+    }
+    items.push_back(it);
+  }
+  return items;
+}
+
+}  // namespace qforest::bench

@@ -1,0 +1,67 @@
+#pragma once
+/// \file workload.hpp
+/// \brief The paper's synthetic benchmark workload (§3.1): an array of
+/// 2,396,745 3D quadrants of mixed refinement levels limited by a maximum
+/// of 7, plus pre-drawn random operation arguments. The kernel under test
+/// is called in a loop over the quadrants and its output is folded into a
+/// local sink variable "to prevent subsequent memory access".
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/random.hpp"
+
+namespace qforest::bench {
+
+/// Paper §3.1 workload size.
+inline constexpr std::size_t kPaperQuadrantCount = 2396745;
+/// Paper §3.1 maximum refinement level of the workload.
+inline constexpr int kPaperMaxLevel = 7;
+
+/// Compiler barrier: force the value to be materialized (same contract as
+/// benchmark::DoNotOptimize, local so the figure harness needs no
+/// google-benchmark dependency).
+template <class T>
+inline void do_not_optimize(T& value) {
+#if defined(__GNUC__)
+  asm volatile("" : "+m"(value) : : "memory");
+#else
+  volatile T sink = value;
+  (void)sink;
+#endif
+}
+
+/// Representation-independent description of one workload element.
+struct WorkItem {
+  morton_t level_index;   ///< index relative to the item's level
+  std::uint8_t level;     ///< in [0, kPaperMaxLevel]
+  std::uint8_t child;     ///< random child/sibling id in [0, 2^d)
+  std::uint8_t face;      ///< random face id in [0, 2d)
+  std::uint8_t interior_face;  ///< face whose neighbor stays in the tree
+};
+
+/// Draw the paper workload: levels uniform in [0, max_level], positions
+/// uniform per level, fixed seed for reproducibility.
+std::vector<WorkItem> make_work_items(std::size_t n, int max_level, int dim,
+                                      std::uint64_t seed = 20240229);
+
+/// Materialize the workload as quadrants of representation \p R.
+template <class R>
+struct Workload {
+  std::vector<typename R::quad_t> quads;
+  std::vector<WorkItem> items;  ///< parallel to quads
+
+  static Workload build(const std::vector<WorkItem>& items) {
+    Workload w;
+    w.items = items;
+    w.quads.reserve(items.size());
+    for (const WorkItem& it : items) {
+      w.quads.push_back(R::morton_quadrant(it.level_index, it.level));
+    }
+    return w;
+  }
+};
+
+}  // namespace qforest::bench

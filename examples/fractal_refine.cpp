@@ -1,0 +1,156 @@
+/// \file fractal_refine.cpp
+/// \brief 3D geometric refinement at scale: refine a two-tree brick
+/// around a Menger-sponge surface, 2:1 balance it, partition across
+/// simulated ranks with level-proportional weights, and report the load
+/// balance and ghost layer sizes per rank — the multi-tree, multi-rank
+/// workflow of a production p4est run.
+///
+/// Run: ./build/examples/fractal_refine [max_level] [ranks] [rep]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/canonical.hpp"
+#include "forest/forest.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace qforest;
+
+/// Menger sponge membership test on the unit cube at ternary depth 3:
+/// a cell is "in the sponge surface band" when its center survives the
+/// recursive middle-third removal.
+bool in_sponge(double x, double y, double z) {
+  for (int d = 0; d < 3; ++d) {
+    const int tx = static_cast<int>(x * 3) % 3;
+    const int ty = static_cast<int>(y * 3) % 3;
+    const int tz = static_cast<int>(z * 3) % 3;
+    if ((tx == 1) + (ty == 1) + (tz == 1) >= 2) {
+      return false;  // removed middle cross
+    }
+    x = x * 3 - std::floor(x * 3);
+    y = y * 3 - std::floor(y * 3);
+    z = z * 3 - std::floor(z * 3);
+  }
+  return true;
+}
+
+template <class R>
+bool on_sponge_boundary(const typename R::quad_t& q) {
+  // Canonical form: representation-exact for all encodings.
+  const CanonicalQuadrant c0 = to_canonical<R>(q);
+  const double scale = std::ldexp(1.0, kCanonicalLevel);
+  const double h = std::ldexp(1.0, kCanonicalLevel - c0.level) / scale;
+  const double cx = static_cast<double>(c0.x) / scale + h / 2;
+  const double cy = static_cast<double>(c0.y) / scale + h / 2;
+  const double cz = static_cast<double>(c0.z) / scale + h / 2;
+  // Refine where the sponge membership changes across the cell: sample
+  // center and corners.
+  const bool c = in_sponge(cx, cy, cz);
+  for (int corner = 0; corner < 8; ++corner) {
+    const double px = cx + ((corner & 1) ? h / 2 : -h / 2);
+    const double py = cy + ((corner & 2) ? h / 2 : -h / 2);
+    const double pz = cz + ((corner & 4) ? h / 2 : -h / 2);
+    if (in_sponge(px, py, pz) != c) {
+      return true;
+    }
+  }
+  return false;
+}
+
+template <class R>
+int run(int max_level, int ranks) {
+  std::printf("fractal_refine — Menger sponge surface on a 2x1x1 brick, "
+              "rep %s, levels 2..%d, %d ranks\n\n",
+              R::name, max_level, ranks);
+  WallTimer total;
+
+  auto forest =
+      Forest<R>::new_uniform(Connectivity::brick3d(2, 1, 1), 2, ranks);
+
+  WallTimer t;
+  forest.refine(true, [&](tree_id_t, const typename R::quad_t& q) {
+    return R::level(q) < max_level && on_sponge_boundary<R>(q);
+  });
+  const double refine_s = t.elapsed_s();
+
+  t.reset();
+  forest.balance(BalanceKind::kFull);
+  const double balance_s = t.elapsed_s();
+
+  t.reset();
+  forest.partition_weighted([](tree_id_t, const typename R::quad_t& q) {
+    return 1 + R::level(q) * R::level(q);  // finer cells cost more
+  });
+  const double partition_s = t.elapsed_s();
+
+  std::printf("leaves: %lld  (refine %.3f s, balance %.3f s, partition "
+              "%.3f s)\n",
+              static_cast<long long>(forest.num_quadrants()), refine_s,
+              balance_s, partition_s);
+  std::printf("balanced: %s, valid: %s\n\n",
+              forest.is_balanced(BalanceKind::kFull) ? "yes" : "NO",
+              forest.is_valid() ? "yes" : "NO");
+
+  std::printf("leaves per level:\n");
+  for (int l = 0; l <= forest.max_level_used(); ++l) {
+    const gidx_t c = forest.count_level(l);
+    if (c > 0) {
+      std::printf("  L%-2d %8lld  %s\n", l, static_cast<long long>(c),
+                  std::string(static_cast<std::size_t>(
+                                  1 + 40 * c / forest.num_quadrants()),
+                              '#')
+                      .c_str());
+    }
+  }
+
+  Table table({"rank", "leaves", "weight share %", "ghosts"});
+  std::int64_t total_weight = 0;
+  std::vector<std::int64_t> weights(static_cast<std::size_t>(ranks), 0);
+  for (int r = 0; r < ranks; ++r) {
+    const auto [first, last] = forest.rank_range(r);
+    for (gidx_t g = first; g < last; ++g) {
+      const auto [tt, ii] = forest.locate(g);
+      const int l = R::level(forest.tree_quadrants(tt)[ii]);
+      weights[static_cast<std::size_t>(r)] += 1 + l * l;
+    }
+    total_weight += weights[static_cast<std::size_t>(r)];
+  }
+  for (int r = 0; r < ranks; ++r) {
+    const auto [first, last] = forest.rank_range(r);
+    table.add_row(
+        {Table::fmt(static_cast<long long>(r)),
+         Table::fmt(static_cast<long long>(last - first)),
+         Table::fmt(100.0 * static_cast<double>(
+                                weights[static_cast<std::size_t>(r)]) /
+                        static_cast<double>(total_weight),
+                    2),
+         Table::fmt(static_cast<long long>(
+             forest.ghost_layer(r).entries.size()))});
+  }
+  std::printf("\n");
+  table.print();
+
+  std::printf("\ntotal runtime %.3f s\n", total.elapsed_s());
+  return forest.is_valid() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int max_level = argc > 1 ? std::atoi(argv[1]) : 5;
+  const int ranks = argc > 2 ? std::atoi(argv[2]) : 8;
+  const std::string rep = argc > 3 ? argv[3] : "morton";
+  if (rep == "standard") return run<StandardRep<3>>(max_level, ranks);
+  if (rep == "morton") return run<MortonRep<3>>(max_level, ranks);
+  if (rep == "avx") return run<AvxRep<3>>(max_level, ranks);
+  if (rep == "wide-morton" || rep == "wide") {
+    return run<WideMortonRep<3>>(max_level, ranks);
+  }
+  std::fprintf(stderr, "unknown representation '%s'\n", rep.c_str());
+  return 1;
+}

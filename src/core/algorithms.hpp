@@ -1,0 +1,179 @@
+#pragma once
+/// \file algorithms.hpp
+/// \brief Representation-generic quadrant algorithms composed from the
+/// low-level operation set (the layer p4est implements in p4est_bits.c on
+/// top of the primitive encodings).
+///
+/// Everything here is written once against the QuadrantRepresentation
+/// concept and therefore works for all four encodings — the "write the
+/// octree algorithms just once" goal of the paper's abstraction (§2).
+
+#include <array>
+#include <cassert>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "core/rep_traits.hpp"
+#include "core/types.hpp"
+
+namespace qforest {
+
+/// True when \p a and \p b are distinct children of the same parent.
+template <class R>
+bool is_sibling(const typename R::quad_t& a, const typename R::quad_t& b) {
+  if (R::level(a) == 0 || R::level(a) != R::level(b) || R::equal(a, b)) {
+    return false;
+  }
+  return R::equal(R::parent(a), R::parent(b));
+}
+
+/// True when \p p is exactly the parent of \p q.
+template <class R>
+bool is_parent_of(const typename R::quad_t& p, const typename R::quad_t& q) {
+  return R::level(q) > 0 && R::level(p) == R::level(q) - 1 &&
+         R::equal(R::parent(q), p);
+}
+
+/// True when the 2^d quadrants beginning at \p family form a complete
+/// sibling family in Morton order (p4est_quadrant_is_familyv).
+template <class R>
+bool is_family(const typename R::quad_t* family) {
+  constexpr int nc = DimConstants<R::dim>::num_children;
+  if (R::level(family[0]) == 0 || R::child_id(family[0]) != 0) {
+    return false;
+  }
+  const typename R::quad_t p = R::parent(family[0]);
+  for (int c = 1; c < nc; ++c) {
+    if (R::level(family[c]) != R::level(family[0]) ||
+        R::child_id(family[c]) != c || !R::equal(R::parent(family[c]), p)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// All 2^d children of \p q in Morton order.
+template <class R>
+std::array<typename R::quad_t, DimConstants<R::dim>::num_children> children(
+    const typename R::quad_t& q) {
+  std::array<typename R::quad_t, DimConstants<R::dim>::num_children> out;
+  for (int c = 0; c < DimConstants<R::dim>::num_children; ++c) {
+    out[static_cast<std::size_t>(c)] = R::child(q, c);
+  }
+  return out;
+}
+
+/// The face neighbor one level coarser: the parent-sized quadrant across
+/// face \p f that contains the equal-size neighbor
+/// (p4est_quadrant_face_neighbor at level l-1).
+template <class R>
+typename R::quad_t coarse_face_neighbor(const typename R::quad_t& q, int f) {
+  assert(R::level(q) > 0);
+  return R::ancestor(R::face_neighbor(q, f), R::level(q) - 1);
+}
+
+/// The 2^(d-1) half-size neighbors across face \p f, i.e. the children of
+/// the equal-size neighbor that touch the shared face, in Morton order
+/// (p4est_quadrant_half_face_neighbors).
+template <class R>
+std::vector<typename R::quad_t> half_face_neighbors(
+    const typename R::quad_t& q, int f) {
+  assert(R::level(q) < R::max_level);
+  const typename R::quad_t n = R::face_neighbor(q, f);
+  std::vector<typename R::quad_t> out;
+  out.reserve(DimConstants<R::dim>::num_children / 2);
+  // Children of n touching the face back toward q: their direction bit
+  // along the face axis equals the *opposite* face side.
+  const int axis = f >> 1;
+  const int touching_bit = (f & 1) ? 0 : 1;  // +f neighbor touches via its -side
+  for (int c = 0; c < DimConstants<R::dim>::num_children; ++c) {
+    if (((c >> axis) & 1) == touching_bit) {
+      out.push_back(R::child(n, c));
+    }
+  }
+  return out;
+}
+
+/// Number of same-level quadrants strictly between \p a and \p b along
+/// the curve at the (common) level of both; 0 when adjacent or equal.
+/// Requires level_index validity (dim*level < 64).
+template <class R>
+morton_t curve_distance(const typename R::quad_t& a,
+                        const typename R::quad_t& b) {
+  assert(R::level(a) == R::level(b));
+  const morton_t ia = R::level_index(a);
+  const morton_t ib = R::level_index(b);
+  return ia < ib ? ib - ia : ia - ib;
+}
+
+/// Enumerate the same-level quadrants from \p first to \p last inclusive
+/// along the Morton curve (successor chain). Both ends must share the
+/// level and first <= last in curve order.
+template <class R>
+std::vector<typename R::quad_t> curve_range(const typename R::quad_t& first,
+                                            const typename R::quad_t& last) {
+  assert(R::level(first) == R::level(last));
+  assert(!R::less(last, first));
+  std::vector<typename R::quad_t> out;
+  typename R::quad_t cur = first;
+  out.push_back(cur);
+  while (!R::equal(cur, last)) {
+    cur = R::successor(cur);
+    out.push_back(cur);
+  }
+  return out;
+}
+
+/// Build the minimal complete linear octree between two quadrants: the
+/// coarsest sorted set of quadrants covering the gap (a, b) exclusively
+/// (p4est complete_region, the core of top-down forest construction).
+/// \p a and \p b must satisfy a < b in Morton order and not overlap.
+template <class R>
+std::vector<typename R::quad_t> complete_region(const typename R::quad_t& a,
+                                                const typename R::quad_t& b) {
+  assert(R::less(a, b));
+  assert(!R::overlaps(a, b));
+  std::vector<typename R::quad_t> out;
+  // Classic algorithm: walk from the NCA downward; emit maximal quadrants
+  // strictly between a and b.
+  const typename R::quad_t nca = R::nearest_common_ancestor(a, b);
+  // Recursive lambda over the children of the current node.
+  auto emit = [&](auto&& self, const typename R::quad_t& node) -> void {
+    if (!R::overlaps(node, a) && !R::overlaps(node, b)) {
+      if (R::less(a, node) && R::less(node, b)) {
+        out.push_back(node);
+      }
+      return;
+    }
+    if (R::equal(node, a) || R::equal(node, b)) {
+      return;
+    }
+    for (int c = 0; c < DimConstants<R::dim>::num_children; ++c) {
+      self(self, R::child(node, c));
+    }
+  };
+  emit(emit, nca);
+  return out;
+}
+
+/// The deepest quadrant at \p level containing the unit-coordinate point
+/// (px, py, pz) in [0, 1)^d; exact for dyadic rationals.
+template <class R>
+typename R::quad_t containing_quadrant(double px, double py, double pz,
+                                       int level) {
+  assert(level >= 0 && level <= R::max_level);
+  assert(px >= 0 && px < 1 && py >= 0 && py < 1);
+  // Build via the canonical form: exact for every representation
+  // including 64-bit-coordinate ones.
+  const auto grid = static_cast<double>(std::int64_t{1} << level);
+  CanonicalQuadrant c;
+  c.level = level;
+  c.x = static_cast<std::int64_t>(px * grid) << (kCanonicalLevel - level);
+  c.y = static_cast<std::int64_t>(py * grid) << (kCanonicalLevel - level);
+  c.z = R::dim == 3 ? static_cast<std::int64_t>(pz * grid)
+                          << (kCanonicalLevel - level)
+                    : 0;
+  return from_canonical<R>(c);
+}
+
+}  // namespace qforest

@@ -1,0 +1,140 @@
+#pragma once
+/// \file batch_avx.hpp
+/// \brief Batched quadrant operations in 256-bit AVX2 registers (paper
+/// future-work item: "the straightforward use of a wider register
+/// capacity, for example 256-bit registers from AVX2").
+///
+/// A __m256i holds two 128-bit quadrants side by side; the lane-parallel
+/// algorithms of quadrant_avx.hpp extend unchanged because every operand
+/// (masks, shifts, level increments) is simply broadcast to both halves.
+/// The batch entry points process arrays, which is how high-level loops
+/// (refine: all children of all leaves; balance: all parents) consume
+/// them. A scalar tail and a full scalar fallback keep the API portable.
+
+#include <cstddef>
+
+#include "core/quadrant_avx.hpp"
+#include "simd/vec128.hpp"
+
+#if QFOREST_HAVE_AVX2
+#include <immintrin.h>
+#endif
+
+namespace qforest {
+
+/// Batched operations over arrays of AvxRep<Dim> quadrants.
+template <int Dim>
+class AvxBatch {
+ public:
+  using rep = AvxRep<Dim>;
+  using quad_t = typename rep::quad_t;
+
+  /// out[i] = child(in[i], c) for a uniform child index c — the shape of
+  /// the inner loop of refine (children are created per fixed c).
+  /// All inputs must share the refinement level \p level (uniform-level
+  /// batches arise naturally per tree level in refine sweeps).
+  static void child_uniform(const quad_t* in, quad_t* out, std::size_t n,
+                            int c, int level) {
+#if QFOREST_HAVE_AVX2
+    const int shift = rep::max_level - (level + 1);
+    // Direction bits of c expanded to one per coordinate lane, twice.
+    const __m128i extid128 = _mm_and_si128(
+        _mm_set_epi32(0, 4, 2, 1), _mm_set1_epi32(c));
+    const __m128i insid128 =
+        _mm_srlv_epi32(extid128, _mm_set_epi32(0, 2, 1, 0));
+    const __m256i setbits = _mm256_slli_epi32(
+        _mm256_broadcastsi128_si256(insid128), shift);
+    const __m256i levelup = _mm256_broadcastsi128_si256(
+        _mm_set_epi32(1, 0, 0, 0));
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const __m256i pair = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(&in[i]));
+      const __m256i r =
+          _mm256_add_epi32(_mm256_or_si256(pair, setbits), levelup);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(&out[i]), r);
+    }
+    for (; i < n; ++i) {
+      out[i] = rep::child(in[i], c);
+    }
+#else
+    (void)level;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = rep::child(in[i], c);
+    }
+#endif
+  }
+
+  /// out[i] = parent(in[i]); all inputs share the level \p level > 0.
+  static void parent_uniform(const quad_t* in, quad_t* out, std::size_t n,
+                             int level) {
+#if QFOREST_HAVE_AVX2
+    const auto len =
+        static_cast<std::uint32_t>(rep::length_at(level));
+    const __m256i clear = _mm256_broadcastsi128_si256(
+        _mm_set_epi32(0, static_cast<int>(len), static_cast<int>(len),
+                      static_cast<int>(len)));
+    const __m256i leveldown = _mm256_broadcastsi128_si256(
+        _mm_set_epi32(1, 0, 0, 0));
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const __m256i pair = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(&in[i]));
+      const __m256i r = _mm256_sub_epi32(
+          _mm256_andnot_si256(clear, pair), leveldown);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(&out[i]), r);
+    }
+    for (; i < n; ++i) {
+      out[i] = rep::parent(in[i]);
+    }
+#else
+    (void)level;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = rep::parent(in[i]);
+    }
+#endif
+  }
+
+  /// out[i] = face_neighbor(in[i], f); all inputs share \p level.
+  static void face_neighbor_uniform(const quad_t* in, quad_t* out,
+                                    std::size_t n, int f, int level) {
+#if QFOREST_HAVE_AVX2
+    const auto h = static_cast<int>(
+        static_cast<std::uint32_t>(rep::length_at(level)));
+    const int axis = f >> 1;
+    const __m128i delta128 = axis == 0   ? _mm_set_epi32(0, 0, 0, h)
+                             : axis == 1 ? _mm_set_epi32(0, 0, h, 0)
+                                         : _mm_set_epi32(0, h, 0, 0);
+    const __m256i delta = _mm256_broadcastsi128_si256(delta128);
+    std::size_t i = 0;
+    if (f & 1) {
+      for (; i + 2 <= n; i += 2) {
+        const __m256i pair = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(&in[i]));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(&out[i]),
+                            _mm256_add_epi32(pair, delta));
+      }
+    } else {
+      for (; i + 2 <= n; i += 2) {
+        const __m256i pair = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(&in[i]));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(&out[i]),
+                            _mm256_sub_epi32(pair, delta));
+      }
+    }
+    for (; i < n; ++i) {
+      out[i] = rep::face_neighbor(in[i], f);
+    }
+#else
+    (void)level;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = rep::face_neighbor(in[i], f);
+    }
+#endif
+  }
+
+  /// True when this build uses real 256-bit registers.
+  static constexpr bool vectorized() { return QFOREST_HAVE_AVX2 != 0; }
+};
+
+}  // namespace qforest

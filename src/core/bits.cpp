@@ -1,0 +1,61 @@
+#include "core/bits.hpp"
+
+#include <array>
+
+namespace qforest::bits {
+
+namespace {
+
+constexpr std::array<std::uint16_t, 256> make_spread2_lut() {
+  std::array<std::uint16_t, 256> lut{};
+  for (unsigned b = 0; b < 256; ++b) {
+    std::uint16_t v = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      if (b & (1u << i)) {
+        v = static_cast<std::uint16_t>(v | (1u << (2 * i)));
+      }
+    }
+    lut[b] = v;
+  }
+  return lut;
+}
+
+constexpr std::array<std::uint32_t, 256> make_spread3_lut() {
+  std::array<std::uint32_t, 256> lut{};
+  for (unsigned b = 0; b < 256; ++b) {
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      if (b & (1u << i)) {
+        v |= 1u << (3 * i);
+      }
+    }
+    lut[b] = v;
+  }
+  return lut;
+}
+
+constexpr auto kSpread2 = make_spread2_lut();
+constexpr auto kSpread3 = make_spread3_lut();
+
+}  // namespace
+
+std::uint64_t spread2_lut(std::uint64_t x) {
+  std::uint64_t r = 0;
+  for (unsigned byte = 0; byte < 4; ++byte) {
+    const auto b = static_cast<std::uint8_t>(x >> (8 * byte));
+    r |= static_cast<std::uint64_t>(kSpread2[b]) << (16 * byte);
+  }
+  return r;
+}
+
+std::uint64_t spread3_lut(std::uint64_t x) {
+  std::uint64_t r = 0;
+  // 21 significant input bits -> three bytes cover 24 >= 21.
+  for (unsigned byte = 0; byte < 3; ++byte) {
+    const auto b = static_cast<std::uint8_t>(x >> (8 * byte));
+    r |= static_cast<std::uint64_t>(kSpread3[b]) << (24 * byte);
+  }
+  return r;
+}
+
+}  // namespace qforest::bits

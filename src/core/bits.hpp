@@ -1,0 +1,169 @@
+#pragma once
+/// \file bits.hpp
+/// \brief Bit-interleaving kernels underlying every Morton-index operation.
+///
+/// The Morton (Z-order) index of a quadrant is the bitwise interleaving of
+/// its coordinates (paper §2.1). Three implementations are provided and
+/// dispatched at compile time, all exactly equivalent:
+///   1. BMI2 pdep/pext single-instruction deposit/extract (fastest),
+///   2. magic-number shift-mask cascades (portable, branch-free),
+///   3. byte-wise lookup tables (ablation baseline; see bench_interleave).
+
+#include <bit>
+#include <cstdint>
+
+#include "simd/feature_detect.hpp"
+
+#if QFOREST_HAVE_BMI2
+#include <immintrin.h>
+#endif
+
+namespace qforest::bits {
+
+/// Bits 0,3,6,... set: pdep mask for the x component in 3D.
+inline constexpr std::uint64_t kMask3X = 0x9249249249249249ull;
+/// Bits 1,4,7,... set: pdep mask for the y component in 3D.
+inline constexpr std::uint64_t kMask3Y = 0x2492492492492492ull;
+/// Bits 2,5,8,... set: pdep mask for the z component in 3D.
+inline constexpr std::uint64_t kMask3Z = 0x4924924924924924ull;
+/// Even bits set: pdep mask for the x component in 2D.
+inline constexpr std::uint64_t kMask2X = 0x5555555555555555ull;
+/// Odd bits set: pdep mask for the y component in 2D.
+inline constexpr std::uint64_t kMask2Y = 0xAAAAAAAAAAAAAAAAull;
+
+// --- magic-number cascades (portable) ------------------------------------
+
+/// Spread the low 32 bits of \p x so bit i lands at bit 2i.
+constexpr std::uint64_t spread2_magic(std::uint64_t x) {
+  x &= 0x00000000FFFFFFFFull;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFull;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  x = (x | (x << 2)) & 0x3333333333333333ull;
+  x = (x | (x << 1)) & kMask2X;
+  return x;
+}
+
+/// Inverse of spread2_magic: gather bits 0,2,4,... into the low half.
+constexpr std::uint64_t compact2_magic(std::uint64_t x) {
+  x &= kMask2X;
+  x = (x | (x >> 1)) & 0x3333333333333333ull;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0Full;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFull;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFull;
+  return x;
+}
+
+/// Spread the low 21 bits of \p x so bit i lands at bit 3i.
+constexpr std::uint64_t spread3_magic(std::uint64_t x) {
+  x &= 0x00000000001FFFFFull;
+  x = (x | (x << 32)) & 0x001F00000000FFFFull;
+  x = (x | (x << 16)) & 0x001F0000FF0000FFull;
+  x = (x | (x << 8)) & 0x100F00F00F00F00Full;
+  x = (x | (x << 4)) & 0x10C30C30C30C30C3ull;
+  x = (x | (x << 2)) & 0x1249249249249249ull;
+  return x;
+}
+
+/// Inverse of spread3_magic: gather bits 0,3,6,... into the low 21 bits.
+constexpr std::uint64_t compact3_magic(std::uint64_t x) {
+  x &= 0x1249249249249249ull;
+  x = (x | (x >> 2)) & 0x10C30C30C30C30C3ull;
+  x = (x | (x >> 4)) & 0x100F00F00F00F00Full;
+  x = (x | (x >> 8)) & 0x001F0000FF0000FFull;
+  x = (x | (x >> 16)) & 0x001F00000000FFFFull;
+  x = (x | (x >> 32)) & 0x00000000001FFFFFull;
+  return x;
+}
+
+// --- lookup-table variants (ablation baseline) ----------------------------
+
+/// Byte-wise LUT implementation of spread2_magic.
+std::uint64_t spread2_lut(std::uint64_t x);
+/// Byte-wise LUT implementation of spread3_magic.
+std::uint64_t spread3_lut(std::uint64_t x);
+
+// --- dispatching entry points ---------------------------------------------
+
+/// Bit i of x -> bit 2i. Uses BMI2 pdep when the build enables it.
+inline std::uint64_t spread2(std::uint64_t x) {
+#if QFOREST_HAVE_BMI2
+  return _pdep_u64(x, kMask2X);
+#else
+  return spread2_magic(x);
+#endif
+}
+
+/// Bit 2i -> bit i.
+inline std::uint64_t compact2(std::uint64_t x) {
+#if QFOREST_HAVE_BMI2
+  return _pext_u64(x, kMask2X);
+#else
+  return compact2_magic(x);
+#endif
+}
+
+/// Bit i of x -> bit 3i.
+inline std::uint64_t spread3(std::uint64_t x) {
+#if QFOREST_HAVE_BMI2
+  return _pdep_u64(x, kMask3X);
+#else
+  return spread3_magic(x);
+#endif
+}
+
+/// Bit 3i -> bit i.
+inline std::uint64_t compact3(std::uint64_t x) {
+#if QFOREST_HAVE_BMI2
+  return _pext_u64(x, kMask3X);
+#else
+  return compact3_magic(x);
+#endif
+}
+
+/// Morton-interleave two coordinates: x occupies even bits, y odd bits.
+inline std::uint64_t interleave2(std::uint32_t x, std::uint32_t y) {
+  return spread2(x) | (spread2(y) << 1);
+}
+
+/// Morton-interleave three coordinates: x -> bit 3i, y -> 3i+1, z -> 3i+2.
+inline std::uint64_t interleave3(std::uint32_t x, std::uint32_t y,
+                                 std::uint32_t z) {
+  return spread3(x) | (spread3(y) << 1) | (spread3(z) << 2);
+}
+
+/// Inverse of interleave2.
+inline void deinterleave2(std::uint64_t m, std::uint32_t& x,
+                          std::uint32_t& y) {
+  x = static_cast<std::uint32_t>(compact2(m));
+  y = static_cast<std::uint32_t>(compact2(m >> 1));
+}
+
+/// Inverse of interleave3.
+inline void deinterleave3(std::uint64_t m, std::uint32_t& x, std::uint32_t& y,
+                          std::uint32_t& z) {
+  x = static_cast<std::uint32_t>(compact3(m));
+  y = static_cast<std::uint32_t>(compact3(m >> 1));
+  z = static_cast<std::uint32_t>(compact3(m >> 2));
+}
+
+// --- misc bit helpers ------------------------------------------------------
+
+/// Position of the highest set bit (0-based); -1 for zero input.
+constexpr int highest_bit(std::uint64_t x) {
+  return x == 0 ? -1 : 63 - std::countl_zero(x);
+}
+
+/// True when \p x is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// 2^e as uint64; e must be < 64.
+constexpr std::uint64_t pow2(unsigned e) { return 1ull << e; }
+
+/// A contiguous mask of \p n low bits; n may be 0..64.
+constexpr std::uint64_t low_mask(unsigned n) {
+  return n >= 64 ? ~0ull : (1ull << n) - 1ull;
+}
+
+}  // namespace qforest::bits

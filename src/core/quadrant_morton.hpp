@@ -1,0 +1,309 @@
+#pragma once
+/// \file quadrant_morton.hpp
+/// \brief Raw Morton index quadrant representation (paper §2.2).
+///
+/// A quadrant is one 64-bit integer: the refinement level in the 8 high
+/// bits and the Morton index relative to the maximum level L in the low 56
+/// bits (Definition layout of §2.2). This gives L = 18 in 3D (⌊56/3⌋, same
+/// as original p4est) and L = 28 in 2D, and shrinks storage to 8 bytes per
+/// quadrant — one third of the standard representation.
+///
+/// The big wins (paper): the Morton transformation is (almost) the
+/// identity (Algorithm 4) and Successor is a single addition (Algorithm 5).
+/// Parent / Child / FNeigh become bit-mask manipulations on the interleaved
+/// index (Algorithms 6-8).
+
+#include <cassert>
+#include <cstdint>
+
+#include "core/bits.hpp"
+#include "core/types.hpp"
+
+namespace qforest {
+
+/// Low-level operations on the raw-Morton-index representation.
+///
+/// Bit layout of quad_t (64 bits), with d = Dim and L = max_level:
+///   bits 63..56 : level
+///   bits 55..0  : Morton index I relative to L (d*L significant bits,
+///                 remaining low-field bits are zero)
+template <int Dim>
+class MortonRep {
+ public:
+  using quad_t = std::uint64_t;
+  using dims = DimConstants<Dim>;
+
+  static constexpr int dim = Dim;
+  /// ⌊56 / d⌋ levels fit beneath the 8-bit level field.
+  static constexpr int max_level = Dim == 3 ? 18 : 28;
+  static constexpr const char* name = "morton";
+
+  /// Number of index bits actually used.
+  static constexpr int index_bits = Dim * max_level;
+  /// Bit position of the level byte.
+  static constexpr int level_shift = 56;
+
+  static constexpr quad_t index_mask = bits::low_mask(level_shift);
+  /// One unit of level in the packed word.
+  static constexpr quad_t level_one = quad_t{1} << level_shift;
+
+  /// Base interleave pattern for the x direction restricted to index bits
+  /// (paper Algorithm 8 line 3: 0...0 001001...001).
+  static constexpr quad_t dir_base =
+      (Dim == 3 ? bits::kMask3X : bits::kMask2X) & bits::low_mask(index_bits);
+
+  static constexpr coord_t length_at(int level) {
+    return static_cast<coord_t>(1) << (max_level - level);
+  }
+
+  static quad_t root() { return 0; }
+
+  // --- accessors -------------------------------------------------------------
+
+  /// The current level is accessed by right shifting by 56 (paper §2.2).
+  static int level(quad_t q) { return static_cast<int>(q >> level_shift); }
+
+  static coord_t length(quad_t q) { return length_at(level(q)); }
+
+  /// Morton index relative to max_level.
+  static quad_t full_index(quad_t q) { return q & index_mask; }
+
+  static coord_t coord(quad_t q, int axis) {
+    coord_t x, y, z;
+    int lvl;
+    to_coords(q, x, y, z, lvl);
+    return axis == 0 ? x : axis == 1 ? y : z;
+  }
+
+  static quad_t from_coords(coord_t x, coord_t y, coord_t z, int lvl) {
+    assert(lvl >= 0 && lvl <= max_level);
+    quad_t idx;
+    if constexpr (Dim == 2) {
+      idx = bits::interleave2(static_cast<std::uint32_t>(x),
+                              static_cast<std::uint32_t>(y));
+      (void)z;
+    } else {
+      idx = bits::interleave3(static_cast<std::uint32_t>(x),
+                              static_cast<std::uint32_t>(y),
+                              static_cast<std::uint32_t>(z));
+    }
+    return (static_cast<quad_t>(lvl) << level_shift) | idx;
+  }
+
+  static void to_coords(quad_t q, coord_t& x, coord_t& y, coord_t& z,
+                        int& lvl) {
+    std::uint32_t ux = 0, uy = 0, uz = 0;
+    if constexpr (Dim == 2) {
+      bits::deinterleave2(full_index(q), ux, uy);
+    } else {
+      bits::deinterleave3(full_index(q), ux, uy, uz);
+    }
+    x = static_cast<coord_t>(ux);
+    y = static_cast<coord_t>(uy);
+    z = static_cast<coord_t>(uz);
+    lvl = level(q);
+  }
+
+  /// The raw Morton representation cannot express exterior quadrants;
+  /// every representable quadrant is inside the unit tree.
+  static bool inside_root(quad_t) { return true; }
+
+  static bool is_valid(quad_t q) {
+    const int lvl = level(q);
+    if (lvl < 0 || lvl > max_level) {
+      return false;
+    }
+    const quad_t idx = full_index(q);
+    if (idx >> index_bits) {
+      return false;  // bits beyond d*L must be clear
+    }
+    // Index must be aligned to the quadrant's own level.
+    return (idx & bits::low_mask(Dim * (max_level - lvl))) == 0;
+  }
+
+  // --- Morton index transformations (paper Algorithm 4) -----------------------
+
+  /// Paper Algorithm 4: the transformation is the identity up to relating
+  /// the level-specific index to max_level.
+  static quad_t morton_quadrant(morton_t il, int lvl) {
+    assert(lvl >= 0 && lvl <= max_level);
+    quad_t q = static_cast<quad_t>(lvl) << level_shift;
+    q |= static_cast<quad_t>(il) << (Dim * (max_level - lvl));
+    return q;
+  }
+
+  /// Index relative to the quadrant's own level.
+  static morton_t level_index(quad_t q) {
+    return full_index(q) >> (Dim * (max_level - level(q)));
+  }
+
+  // --- family operations (paper Algorithms 5-7) --------------------------------
+
+  static int child_id(quad_t q) {
+    assert(level(q) > 0);
+    return static_cast<int>(level_index(q) & (dims::num_children - 1));
+  }
+
+  static int ancestor_id(quad_t q, int lvl) {
+    assert(lvl > 0 && lvl <= level(q));
+    return static_cast<int>(
+        (full_index(q) >> (Dim * (max_level - lvl))) &
+        (dims::num_children - 1));
+  }
+
+  /// Paper Algorithm 6: set the child's direction bits, bump the level.
+  static quad_t child(quad_t q, int c) {
+    assert(level(q) < max_level);
+    assert(c >= 0 && c < dims::num_children);
+    const quad_t shift = static_cast<quad_t>(c)
+                         << (Dim * (max_level - (level(q) + 1)));
+    return (q | shift) + level_one;
+  }
+
+  /// Paper Algorithm 7: blank the level's direction bits, drop the level.
+  static quad_t parent(quad_t q) {
+    assert(level(q) > 0);
+    const quad_t mask = static_cast<quad_t>(dims::num_children - 1)
+                        << (Dim * (max_level - level(q)));
+    return (q & ~mask) - level_one;
+  }
+
+  /// Definition 2.3: replace the direction bits at the own level by s.
+  static quad_t sibling(quad_t q, int s) {
+    assert(level(q) > 0);
+    assert(s >= 0 && s < dims::num_children);
+    const int pos = Dim * (max_level - level(q));
+    const quad_t mask = static_cast<quad_t>(dims::num_children - 1) << pos;
+    return (q & ~mask) | (static_cast<quad_t>(s) << pos);
+  }
+
+  /// Paper Algorithm 5: successor along the curve is one addition.
+  /// Precondition: q is not the last quadrant of its level.
+  static quad_t successor(quad_t q) {
+    return q + (quad_t{1} << (Dim * (max_level - level(q))));
+  }
+
+  /// Inverse of successor; precondition: q is not the first quadrant.
+  static quad_t predecessor(quad_t q) {
+    return q - (quad_t{1} << (Dim * (max_level - level(q))));
+  }
+
+  /// True when the quadrant is the last of its level along the curve.
+  static bool is_last_of_level(quad_t q) {
+    return level_index(q) == bits::low_mask(Dim * level(q));
+  }
+
+  static quad_t ancestor(quad_t q, int lvl) {
+    assert(lvl >= 0 && lvl <= level(q));
+    const quad_t keep = ~bits::low_mask(Dim * (max_level - lvl));
+    return (full_index(q) & keep & index_mask) |
+           (static_cast<quad_t>(lvl) << level_shift);
+  }
+
+  static quad_t first_descendant(quad_t q, int lvl) {
+    assert(lvl >= level(q) && lvl <= max_level);
+    return full_index(q) | (static_cast<quad_t>(lvl) << level_shift);
+  }
+
+  static quad_t last_descendant(quad_t q, int lvl) {
+    assert(lvl >= level(q) && lvl <= max_level);
+    const quad_t fill = bits::low_mask(Dim * (max_level - level(q))) &
+                        ~bits::low_mask(Dim * (max_level - lvl));
+    return (full_index(q) | fill) |
+           (static_cast<quad_t>(lvl) << level_shift);
+  }
+
+  // --- neighborhood (paper Algorithm 8 and derived) -----------------------------
+
+  /// Paper Algorithm 8: face neighbor via carry/borrow propagation confined
+  /// to one direction's interleaved bits. Precondition: the neighbor exists
+  /// inside the unit tree (check tree_boundaries first); crossing the
+  /// boundary wraps around periodically.
+  static quad_t face_neighbor(quad_t q, int f) {
+    assert(f >= 0 && f < dims::num_faces);
+    const int lvl = level(q);
+    const quad_t maskl = ~bits::low_mask(Dim * (max_level - lvl));
+    const quad_t maskdir = (dir_base & maskl) << (f >> 1);
+    quad_t r;
+    if (f & 1) {
+      r = (q | ~maskdir) + 1;  // move along the axis direction
+    } else {
+      r = (q & maskdir) - 1;  // move against the axis direction
+    }
+    return (r & maskdir) | (q & ~maskdir);  // restore untouched bits
+  }
+
+  /// Diagonal (corner) neighbor: apply the face step in every direction.
+  /// Same precondition as face_neighbor.
+  static quad_t corner_neighbor(quad_t q, int c) {
+    assert(c >= 0 && c < dims::num_corners);
+    quad_t r = q;
+    for (int i = 0; i < Dim; ++i) {
+      r = face_neighbor(r, 2 * i + ((c >> i) & 1));
+    }
+    return r;
+  }
+
+  /// Paper Algorithm 12 semantics on the interleaved index: a direction's
+  /// coordinate is zero iff its interleaved bits are all zero, and maximal
+  /// iff all bits down to the quadrant's level are one.
+  static void tree_boundaries(quad_t q, int out[Dim]) {
+    const int lvl = level(q);
+    if (lvl == 0) {
+      for (int i = 0; i < Dim; ++i) {
+        out[i] = kBoundaryAll;
+      }
+      return;
+    }
+    const quad_t maskl = ~bits::low_mask(Dim * (max_level - lvl));
+    for (int i = 0; i < Dim; ++i) {
+      const quad_t dirmask = (dir_base & maskl) << i;
+      const quad_t bitsdir = q & dirmask;
+      out[i] = bitsdir == 0 ? 2 * i
+                            : (bitsdir == dirmask ? 2 * i + 1 : kBoundaryNone);
+    }
+  }
+
+  // --- ordering and containment ---------------------------------------------------
+
+  static bool equal(quad_t a, quad_t b) { return a == b; }
+
+  /// Morton order: compare the index; an ancestor (same index, coarser
+  /// level) precedes its first descendant.
+  static bool less(quad_t a, quad_t b) {
+    const quad_t ia = full_index(a), ib = full_index(b);
+    if (ia != ib) {
+      return ia < ib;
+    }
+    return level(a) < level(b);
+  }
+
+  static bool is_ancestor(quad_t a, quad_t b) {
+    const int la = level(a), lb = level(b);
+    if (la >= lb) {
+      return false;
+    }
+    const int down = Dim * (max_level - la);
+    return (full_index(a) >> down) == (full_index(b) >> down);
+  }
+
+  static bool overlaps(quad_t a, quad_t b) {
+    return a == b || is_ancestor(a, b) || is_ancestor(b, a);
+  }
+
+  static quad_t nearest_common_ancestor(quad_t a, quad_t b) {
+    const quad_t diff = full_index(a) ^ full_index(b);
+    int lvl;
+    if (diff == 0) {
+      lvl = level(a) < level(b) ? level(a) : level(b);
+    } else {
+      const int hbit = bits::highest_bit(diff);
+      lvl = max_level - hbit / Dim - 1;
+      lvl = lvl < level(a) ? lvl : level(a);
+      lvl = lvl < level(b) ? lvl : level(b);
+    }
+    return ancestor(a, lvl);
+  }
+};
+
+}  // namespace qforest

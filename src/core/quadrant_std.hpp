@@ -1,0 +1,527 @@
+#pragma once
+/// \file quadrant_std.hpp
+/// \brief Standard (baseline) quadrant representation: explicit xyz + level.
+///
+/// This is the classical p4est encoding (paper §2.1): the coordinates of
+/// the lower front left corner on the 2^L integer grid plus the refinement
+/// level, padded and extended by 8 bytes of user payload, for 24 bytes per
+/// octant in 3D. All low-level algorithms operate directly on coordinate
+/// bits; Algorithms 1 (Morton), 2 (Child) and 3 (Sibling) of the paper are
+/// implemented verbatim here, the remaining operations follow
+/// p4est's p4est_bits.c.
+
+#include <cassert>
+#include <cstdint>
+
+#include "core/bits.hpp"
+#include "core/types.hpp"
+
+namespace qforest {
+
+/// Plain-struct storage for the standard representation.
+template <int Dim>
+struct StandardQuadrant;
+
+template <>
+struct StandardQuadrant<2> {
+  coord_t x = 0;      ///< lower-left corner, x
+  coord_t y = 0;      ///< lower-left corner, y
+  level_t level = 0;  ///< refinement level, root = 0
+  std::uint8_t pad8 = 0;
+  std::uint16_t pad16 = 0;
+  std::uint64_t payload = 0;  ///< 8 bytes of user data (historic p4est ABI)
+};
+
+template <>
+struct StandardQuadrant<3> {
+  coord_t x = 0;      ///< lower front left corner, x
+  coord_t y = 0;      ///< lower front left corner, y
+  coord_t z = 0;      ///< lower front left corner, z
+  level_t level = 0;  ///< refinement level, root = 0
+  std::uint8_t pad8 = 0;
+  std::uint16_t pad16 = 0;
+  std::uint64_t payload = 0;  ///< 8 bytes of user data (historic p4est ABI)
+};
+
+static_assert(sizeof(StandardQuadrant<3>) == 24,
+              "paper: standard 3D octant occupies 24 bytes");
+
+/// Low-level operations on the standard representation.
+///
+/// The class is stateless; every method is static and O(1). `quad_t` is
+/// cheap to copy. Coordinates are signed so face neighbors may lie outside
+/// the unit tree (p4est uses such exterior quadrants during ghost layer
+/// construction); use inside_root() to test.
+template <int Dim>
+class StandardRep {
+ public:
+  using quad_t = StandardQuadrant<Dim>;
+  using dims = DimConstants<Dim>;
+
+  static constexpr int dim = Dim;
+  /// p4est's maximum refinement level for explicit coordinates.
+  static constexpr int max_level = 29;
+  static constexpr const char* name = "standard";
+
+  /// Integer side length of a quadrant at \p level.
+  static constexpr coord_t length_at(int level) {
+    return static_cast<coord_t>(1) << (max_level - level);
+  }
+
+  /// Root quadrant covering the unit tree.
+  static quad_t root() { return quad_t{}; }
+
+  // --- accessors -----------------------------------------------------------
+
+  static int level(const quad_t& q) { return q.level; }
+
+  /// Integer side length h = 2^(L-l).
+  static coord_t length(const quad_t& q) { return length_at(q.level); }
+
+  /// Coordinate along \p axis (0=x, 1=y, 2=z).
+  static coord_t coord(const quad_t& q, int axis) {
+    if (axis == 0) return q.x;
+    if (axis == 1) return q.y;
+    if constexpr (Dim == 3) {
+      if (axis == 2) return q.z;
+    }
+    assert(false && "axis out of range");
+    return 0;
+  }
+
+  /// Construct from explicit coordinates and level (grid of 2^max_level).
+  static quad_t from_coords(coord_t x, coord_t y, coord_t z, int lvl) {
+    quad_t q{};
+    q.x = x;
+    q.y = y;
+    if constexpr (Dim == 3) {
+      q.z = z;
+    } else {
+      (void)z;
+    }
+    q.level = static_cast<level_t>(lvl);
+    return q;
+  }
+
+  /// Extract coordinates and level; z is 0 in 2D.
+  static void to_coords(const quad_t& q, coord_t& x, coord_t& y, coord_t& z,
+                        int& lvl) {
+    x = q.x;
+    y = q.y;
+    z = Dim == 3 ? zcoord(q) : 0;
+    lvl = q.level;
+  }
+
+  /// True when the quadrant lies fully inside the unit tree.
+  static bool inside_root(const quad_t& q) {
+    const coord_t last = (static_cast<coord_t>(1) << max_level) - length(q);
+    bool ok = q.x >= 0 && q.x <= last && q.y >= 0 && q.y <= last;
+    if constexpr (Dim == 3) {
+      ok = ok && q.z >= 0 && q.z <= last;
+    }
+    return ok;
+  }
+
+  /// Structural validity: level in range, coordinates aligned to length.
+  static bool is_valid(const quad_t& q) {
+    if (q.level < 0 || q.level > max_level) {
+      return false;
+    }
+    const coord_t h = length(q);
+    bool ok = (q.x & (h - 1)) == 0 && (q.y & (h - 1)) == 0;
+    if constexpr (Dim == 3) {
+      ok = ok && (zcoord(q) & (h - 1)) == 0;
+    }
+    return ok && inside_root(q);
+  }
+
+  // --- Morton index transformations (paper Algorithm 1 and inverse) --------
+
+  /// Paper Algorithm 1 (verbatim bit loop): build the quadrant with
+  /// level-relative Morton index \p il on the uniform mesh of level
+  /// \p lvl. Requires Dim*lvl <= 63. This is the kernel benchmarked in
+  /// the paper's Figure 2; see morton_quadrant_pdep for the BMI2 variant.
+  static quad_t morton_quadrant(morton_t il, int lvl) {
+    assert(lvl >= 0 && lvl <= max_level);
+    assert(Dim * lvl < 64);
+    morton_t x = 0, y = 0, z = 0;
+    for (int i = 0; i < lvl; ++i) {
+      const morton_t extractid = morton_t{1} << (Dim * i);
+      const int shiftcrd = (Dim - 1) * i;
+      x |= (il & (extractid << 0)) >> (shiftcrd + 0);
+      y |= (il & (extractid << 1)) >> (shiftcrd + 1);
+      if constexpr (Dim == 3) {
+        z |= (il & (extractid << 2)) >> (shiftcrd + 2);
+      }
+    }
+    quad_t q{};
+    // Set x, y, z according to L (paper Alg. 1 line 8).
+    q.x = static_cast<coord_t>(x) << (max_level - lvl);
+    q.y = static_cast<coord_t>(y) << (max_level - lvl);
+    if constexpr (Dim == 3) {
+      q.z = static_cast<coord_t>(z) << (max_level - lvl);
+    }
+    q.level = static_cast<level_t>(lvl);
+    return q;
+  }
+
+  /// BMI2/pdep variant of Algorithm 1 (ablation: bench_interleave shows
+  /// how hardware bit-deposit changes Figure 2's ranking).
+  static quad_t morton_quadrant_pdep(morton_t il, int lvl) {
+    assert(lvl >= 0 && lvl <= max_level);
+    assert(Dim * lvl < 64);
+    quad_t q{};
+    std::uint32_t cx = 0, cy = 0, cz = 0;
+    if constexpr (Dim == 2) {
+      bits::deinterleave2(il, cx, cy);
+    } else {
+      bits::deinterleave3(il, cx, cy, cz);
+    }
+    q.x = static_cast<coord_t>(cx) << (max_level - lvl);
+    q.y = static_cast<coord_t>(cy) << (max_level - lvl);
+    if constexpr (Dim == 3) {
+      q.z = static_cast<coord_t>(cz) << (max_level - lvl);
+    }
+    q.level = static_cast<level_t>(lvl);
+    return q;
+  }
+
+  /// Morton index relative to the quadrant's own level (inverse of
+  /// morton_quadrant). Requires Dim*level <= 63.
+  static morton_t level_index(const quad_t& q) {
+    assert(Dim * q.level < 64);
+    const int down = max_level - q.level;
+    const auto ux = static_cast<std::uint32_t>(q.x) >> down;
+    const auto uy = static_cast<std::uint32_t>(q.y) >> down;
+    if constexpr (Dim == 2) {
+      return bits::interleave2(ux, uy);
+    } else {
+      const auto uz = static_cast<std::uint32_t>(zcoord(q)) >> down;
+      return bits::interleave3(ux, uy, uz);
+    }
+  }
+
+  /// Morton index relative to max_level, in 128 bits (3D needs 87 bits).
+  static unsigned __int128 full_index(const quad_t& q) {
+    const auto ux = static_cast<std::uint32_t>(q.x);
+    const auto uy = static_cast<std::uint32_t>(q.y);
+    unsigned __int128 idx;
+    if constexpr (Dim == 2) {
+      idx = bits::interleave2(ux, uy);
+    } else {
+      const auto uz = static_cast<std::uint32_t>(zcoord(q));
+      // Interleave the low 21 bits in 64-bit space and the remaining high
+      // bits separately, then stitch the two pieces together.
+      const std::uint64_t lo =
+          bits::interleave3(ux & bits::low_mask(21), uy & bits::low_mask(21),
+                            uz & bits::low_mask(21));
+      const std::uint64_t hi = bits::interleave3(ux >> 21, uy >> 21, uz >> 21);
+      idx = (static_cast<unsigned __int128>(hi) << 63) | lo;
+    }
+    return idx;
+  }
+
+  // --- family operations (paper Algorithms 2, 3 + p4est_bits) --------------
+
+  /// Child id of the quadrant relative to its parent: one direction bit
+  /// per dimension taken at the quadrant's own level.
+  static int child_id(const quad_t& q) {
+    assert(q.level > 0);
+    const coord_t h = length(q);
+    int id = (q.x & h) ? 1 : 0;
+    id |= (q.y & h) ? 2 : 0;
+    if constexpr (Dim == 3) {
+      id |= (zcoord(q) & h) ? 4 : 0;
+    }
+    return id;
+  }
+
+  /// Child id of the ancestor of \p q at \p lvl relative to its parent.
+  static int ancestor_id(const quad_t& q, int lvl) {
+    assert(lvl > 0 && lvl <= q.level);
+    const coord_t h = length_at(lvl);
+    int id = (q.x & h) ? 1 : 0;
+    id |= (q.y & h) ? 2 : 0;
+    if constexpr (Dim == 3) {
+      id |= (zcoord(q) & h) ? 4 : 0;
+    }
+    return id;
+  }
+
+  /// Paper Algorithm 2: the c-th child, setting up to d coordinate bits.
+  static quad_t child(const quad_t& q, int c) {
+    assert(q.level < max_level);
+    assert(c >= 0 && c < dims::num_children);
+    const coord_t shift = length_at(q.level + 1);
+    quad_t r = q;
+    r.x = (c & 1) ? q.x | shift : q.x;
+    r.y = (c & 2) ? q.y | shift : q.y;
+    if constexpr (Dim == 3) {
+      r.z = (c & 4) ? q.z | shift : q.z;
+    }
+    r.level = static_cast<level_t>(q.level + 1);
+    return r;
+  }
+
+  /// Paper Algorithm 3: the s-th sibling (same parent, child id s).
+  static quad_t sibling(const quad_t& q, int s) {
+    assert(q.level > 0);
+    assert(s >= 0 && s < dims::num_children);
+    const coord_t shift = length(q);
+    quad_t r = q;
+    r.x = (s & 1) ? q.x | shift : q.x & ~shift;
+    r.y = (s & 2) ? q.y | shift : q.y & ~shift;
+    if constexpr (Dim == 3) {
+      r.z = (s & 4) ? q.z | shift : q.z & ~shift;
+    }
+    return r;
+  }
+
+  /// The unique parent (Definition 2.5, standard encoding).
+  static quad_t parent(const quad_t& q) {
+    assert(q.level > 0);
+    const coord_t h = length(q);
+    quad_t r = q;
+    r.x = q.x & ~h;
+    r.y = q.y & ~h;
+    if constexpr (Dim == 3) {
+      r.z = q.z & ~h;
+    }
+    r.level = static_cast<level_t>(q.level - 1);
+    return r;
+  }
+
+  /// Ancestor at level \p lvl <= level(q): blank all finer coordinate bits.
+  static quad_t ancestor(const quad_t& q, int lvl) {
+    assert(lvl >= 0 && lvl <= q.level);
+    const coord_t mask = ~(length_at(lvl) - 1);
+    quad_t r = q;
+    r.x = q.x & mask;
+    r.y = q.y & mask;
+    if constexpr (Dim == 3) {
+      r.z = q.z & mask;
+    }
+    r.level = static_cast<level_t>(lvl);
+    return r;
+  }
+
+  /// First descendant (same corner) at level \p lvl >= level(q).
+  static quad_t first_descendant(const quad_t& q, int lvl) {
+    assert(lvl >= q.level && lvl <= max_level);
+    quad_t r = q;
+    r.level = static_cast<level_t>(lvl);
+    return r;
+  }
+
+  /// Last descendant (opposite corner) at level \p lvl >= level(q).
+  static quad_t last_descendant(const quad_t& q, int lvl) {
+    assert(lvl >= q.level && lvl <= max_level);
+    const coord_t delta = length(q) - length_at(lvl);
+    quad_t r = q;
+    r.x = q.x + delta;
+    r.y = q.y + delta;
+    if constexpr (Dim == 3) {
+      r.z = q.z + delta;
+    }
+    r.level = static_cast<level_t>(lvl);
+    return r;
+  }
+
+  /// Next quadrant of the same level along the Morton curve.
+  /// Standard encoding: increment the level-relative index via carry
+  /// propagation over coordinate bits.
+  static quad_t successor(const quad_t& q) {
+    assert(q.level > 0 || !"root has no successor");
+    // Increment by flipping trailing 1-direction-bits, exactly a +1 on the
+    // interleaved index but performed on the separate coordinates.
+    quad_t r = q;
+    const coord_t h = length(q);
+    for (int lvl = q.level; lvl > 0; --lvl) {
+      const coord_t bit = length_at(lvl);
+      // Child id bits at this level; +1 with carry.
+      int id = 0;
+      id |= (r.x & bit) ? 1 : 0;
+      id |= (r.y & bit) ? 2 : 0;
+      if constexpr (Dim == 3) {
+        id |= (r.z & bit) ? 4 : 0;
+      }
+      const int next = (id + 1) & (dims::num_children - 1);
+      r.x = next & 1 ? r.x | bit : r.x & ~bit;
+      r.y = next & 2 ? r.y | bit : r.y & ~bit;
+      if constexpr (Dim == 3) {
+        r.z = next & 4 ? r.z | bit : r.z & ~bit;
+      }
+      if (next != 0) {
+        return r;  // no carry out of this level
+      }
+    }
+    (void)h;
+    return r;  // wrapped around past the last quadrant
+  }
+
+  /// Previous quadrant of the same level along the Morton curve.
+  static quad_t predecessor(const quad_t& q) {
+    quad_t r = q;
+    for (int lvl = q.level; lvl > 0; --lvl) {
+      const coord_t bit = length_at(lvl);
+      int id = 0;
+      id |= (r.x & bit) ? 1 : 0;
+      id |= (r.y & bit) ? 2 : 0;
+      if constexpr (Dim == 3) {
+        id |= (r.z & bit) ? 4 : 0;
+      }
+      const int prev = (id + dims::num_children - 1) & (dims::num_children - 1);
+      r.x = prev & 1 ? r.x | bit : r.x & ~bit;
+      r.y = prev & 2 ? r.y | bit : r.y & ~bit;
+      if constexpr (Dim == 3) {
+        r.z = prev & 4 ? r.z | bit : r.z & ~bit;
+      }
+      if (prev != dims::num_children - 1) {
+        return r;  // no borrow out of this level
+      }
+    }
+    return r;
+  }
+
+  // --- neighborhood ---------------------------------------------------------
+
+  /// Face neighbor across face \p f (p4est order -x,+x,-y,+y,-z,+z).
+  /// The result may lie outside the unit tree (signed coordinates).
+  static quad_t face_neighbor(const quad_t& q, int f) {
+    assert(f >= 0 && f < dims::num_faces);
+    const coord_t h = length(q);
+    quad_t r = q;
+    const coord_t delta = (f & 1) ? h : -h;
+    switch (f >> 1) {
+      case 0: r.x = q.x + delta; break;
+      case 1: r.y = q.y + delta; break;
+      default:
+        if constexpr (Dim == 3) {
+          r.z = q.z + delta;
+        }
+        break;
+    }
+    return r;
+  }
+
+  /// Corner neighbor across corner \p c (diagonal touch), may be exterior.
+  static quad_t corner_neighbor(const quad_t& q, int c) {
+    assert(c >= 0 && c < dims::num_corners);
+    const coord_t h = length(q);
+    quad_t r = q;
+    r.x = q.x + ((c & 1) ? h : -h);
+    r.y = q.y + ((c & 2) ? h : -h);
+    if constexpr (Dim == 3) {
+      r.z = q.z + ((c & 4) ? h : -h);
+    }
+    return r;
+  }
+
+  /// Which unit-tree faces does the quadrant touch, per direction
+  /// (paper Algorithm 12 semantics: -2 all, -1 none, 2i or 2i+1).
+  static void tree_boundaries(const quad_t& q, int out[Dim]) {
+    if (q.level == 0) {
+      for (int i = 0; i < Dim; ++i) {
+        out[i] = kBoundaryAll;
+      }
+      return;
+    }
+    const coord_t up =
+        (static_cast<coord_t>(1) << max_level) - length(q);
+    for (int i = 0; i < Dim; ++i) {
+      const coord_t c = coord(q, i);
+      out[i] = c == 0 ? 2 * i : (c == up ? 2 * i + 1 : kBoundaryNone);
+    }
+  }
+
+  // --- ordering and containment ----------------------------------------------
+
+  static bool equal(const quad_t& a, const quad_t& b) {
+    bool e = a.x == b.x && a.y == b.y && a.level == b.level;
+    if constexpr (Dim == 3) {
+      e = e && a.z == b.z;
+    }
+    return e;
+  }
+
+  /// Strict Morton order: compare space-filling-curve position; an
+  /// ancestor precedes its descendants (p4est_quadrant_compare).
+  static bool less(const quad_t& a, const quad_t& b) {
+    const std::uint32_t dx = static_cast<std::uint32_t>(a.x) ^
+                             static_cast<std::uint32_t>(b.x);
+    const std::uint32_t dy = static_cast<std::uint32_t>(a.y) ^
+                             static_cast<std::uint32_t>(b.y);
+    std::uint32_t dz = 0;
+    if constexpr (Dim == 3) {
+      dz = static_cast<std::uint32_t>(zcoord(a)) ^
+           static_cast<std::uint32_t>(zcoord(b));
+    }
+    if ((dx | dy | dz) == 0) {
+      return a.level < b.level;
+    }
+    // Dimension owning the most significant differing interleaved bit:
+    // at equal coordinate-bit position the higher dimension's bit is more
+    // significant in the interleaving (z over y over x).
+    const int hx = bits::highest_bit(dx);
+    const int hy = bits::highest_bit(dy);
+    const int hz = bits::highest_bit(dz);
+    if (dz != 0 && hz >= hy && hz >= hx) {
+      return zcoord(a) < zcoord(b);
+    }
+    if (dy != 0 && hy >= hx) {
+      return a.y < b.y;
+    }
+    return a.x < b.x;
+  }
+
+  /// True when \p a is a strict ancestor of \p b (or equal if levels match
+  /// and ancestor_or_self).
+  static bool is_ancestor(const quad_t& a, const quad_t& b) {
+    if (a.level >= b.level) {
+      return false;
+    }
+    const coord_t mask = ~(length(a) - 1);
+    bool inside = (b.x & mask) == a.x && (b.y & mask) == a.y;
+    if constexpr (Dim == 3) {
+      inside = inside && (zcoord(b) & mask) == zcoord(a);
+    }
+    return inside;
+  }
+
+  /// True when the domains of \p a and \p b intersect in a full d-cube
+  /// (one contains the other or they are equal).
+  static bool overlaps(const quad_t& a, const quad_t& b) {
+    return equal(a, b) || is_ancestor(a, b) || is_ancestor(b, a);
+  }
+
+  /// Nearest common ancestor of two quadrants.
+  static quad_t nearest_common_ancestor(const quad_t& a, const quad_t& b) {
+    const std::uint32_t dx = static_cast<std::uint32_t>(a.x) ^
+                             static_cast<std::uint32_t>(b.x);
+    const std::uint32_t dy = static_cast<std::uint32_t>(a.y) ^
+                             static_cast<std::uint32_t>(b.y);
+    std::uint32_t dz = 0;
+    if constexpr (Dim == 3) {
+      dz = static_cast<std::uint32_t>(zcoord(a)) ^
+           static_cast<std::uint32_t>(zcoord(b));
+    }
+    const int hbit = bits::highest_bit(dx | dy | dz);
+    // The NCA level is bounded by the highest differing coordinate bit and
+    // by both input levels.
+    int lvl = max_level - (hbit + 1);
+    lvl = lvl < a.level ? lvl : a.level;
+    lvl = lvl < b.level ? lvl : b.level;
+    return ancestor(a, lvl);
+  }
+
+ private:
+  static coord_t zcoord(const quad_t& q) {
+    if constexpr (Dim == 3) {
+      return q.z;
+    } else {
+      return 0;
+    }
+  }
+};
+
+}  // namespace qforest

@@ -1,0 +1,338 @@
+#pragma once
+/// \file quadrant_wide.hpp
+/// \brief 128-bit raw Morton representation (paper future-work item).
+///
+/// The paper's conclusion proposes "the integration of a raw Morton index
+/// implementation with extended 128-bit CPU registers", combining the
+/// algorithmic simplicity of §2.2 with a higher maximum refinement level.
+/// This representation realizes that idea with a 128-bit integer word:
+/// level in the top 8 bits, Morton index relative to L in the low 120
+/// bits, giving L = 40 in 3D and L = 60 in 2D — beyond the level-30 limit
+/// of explicit 32-bit coordinates — at the 16-byte footprint of the AVX
+/// representation.
+///
+/// All algorithms are the direct 128-bit generalizations of Algorithms
+/// 4-8; on x86-64 GCC lowers __uint128_t arithmetic to two-register
+/// operations (add/adc, shld), which is the "portable compiler support of
+/// 128 bit CPU registers" the paper's closing paragraph anticipates.
+
+#include <cassert>
+#include <cstdint>
+
+#include "core/bits.hpp"
+#include "core/types.hpp"
+
+namespace qforest {
+
+/// Low-level operations on the 128-bit raw-Morton representation.
+template <int Dim>
+class WideMortonRep {
+ public:
+  using quad_t = unsigned __int128;
+  using dims = DimConstants<Dim>;
+
+  static constexpr int dim = Dim;
+  /// ⌊120 / d⌋ levels beneath the 8-bit level field.
+  static constexpr int max_level = Dim == 3 ? 40 : 60;
+  static constexpr const char* name = "wide-morton";
+
+  static constexpr int index_bits = Dim * max_level;
+  static constexpr int level_shift = 120;
+
+  /// Coordinates require up to 60 bits here, hence 64-bit coordinate I/O.
+  using wide_coord_t = std::int64_t;
+
+  static constexpr quad_t low_mask128(int n) {
+    return n >= 128 ? ~quad_t{0}
+                    : ((quad_t{1} << n) - 1);
+  }
+
+  static constexpr quad_t index_mask = low_mask128(level_shift);
+  static constexpr quad_t level_one = quad_t{1} << level_shift;
+
+  /// Base interleave pattern for the x direction over 128 bits.
+  static constexpr quad_t dir_base = []() constexpr {
+    quad_t m = 0;
+    for (int i = 0; i < max_level; ++i) {
+      m |= quad_t{1} << (Dim * i);
+    }
+    return m;
+  }();
+
+  static constexpr std::int64_t length_at(int level) {
+    return std::int64_t{1} << (max_level - level);
+  }
+
+  static quad_t root() { return 0; }
+
+  // --- accessors -------------------------------------------------------------
+
+  static int level(quad_t q) { return static_cast<int>(q >> level_shift); }
+
+  static std::int64_t length(quad_t q) { return length_at(level(q)); }
+
+  static quad_t full_index(quad_t q) { return q & index_mask; }
+
+  static quad_t from_wide_coords(wide_coord_t x, wide_coord_t y,
+                                 wide_coord_t z, int lvl) {
+    assert(lvl >= 0 && lvl <= max_level);
+    quad_t idx = 0;
+    // Interleave 64-bit coordinates in two 32-bit halves through the
+    // 64-bit kernels of bits.hpp.
+    if constexpr (Dim == 2) {
+      const std::uint64_t lo = bits::interleave2(
+          static_cast<std::uint32_t>(x), static_cast<std::uint32_t>(y));
+      const std::uint64_t hi = bits::interleave2(
+          static_cast<std::uint32_t>(static_cast<std::uint64_t>(x) >> 32),
+          static_cast<std::uint32_t>(static_cast<std::uint64_t>(y) >> 32));
+      idx = (static_cast<quad_t>(hi) << 64) | lo;
+      (void)z;
+    } else {
+      const auto spread_wide = [](std::uint64_t v) {
+        const quad_t lo = bits::spread3(v & bits::low_mask(21));
+        const quad_t mid = bits::spread3((v >> 21) & bits::low_mask(21));
+        const quad_t hi = bits::spread3(v >> 42);
+        return lo | (mid << 63) | (hi << 126);
+      };
+      idx = spread_wide(static_cast<std::uint64_t>(x)) |
+            (spread_wide(static_cast<std::uint64_t>(y)) << 1) |
+            (spread_wide(static_cast<std::uint64_t>(z)) << 2);
+    }
+    return (static_cast<quad_t>(lvl) << level_shift) | idx;
+  }
+
+  static void to_wide_coords(quad_t q, wide_coord_t& x, wide_coord_t& y,
+                             wide_coord_t& z, int& lvl) {
+    const quad_t idx = full_index(q);
+    if constexpr (Dim == 2) {
+      const auto lo = static_cast<std::uint64_t>(idx);
+      const auto hi = static_cast<std::uint64_t>(idx >> 64);
+      std::uint32_t xl, yl, xh, yh;
+      bits::deinterleave2(lo, xl, yl);
+      bits::deinterleave2(hi, xh, yh);
+      x = static_cast<wide_coord_t>(
+          (static_cast<std::uint64_t>(xh) << 32) | xl);
+      y = static_cast<wide_coord_t>(
+          (static_cast<std::uint64_t>(yh) << 32) | yl);
+      z = 0;
+    } else {
+      const auto compact_wide = [&](int shift) {
+        const quad_t s = idx >> shift;
+        const std::uint64_t lo =
+            bits::compact3(static_cast<std::uint64_t>(s) &
+                           bits::low_mask(63));
+        const std::uint64_t mid = bits::compact3(
+            static_cast<std::uint64_t>(s >> 63) & bits::low_mask(63));
+        const std::uint64_t hi =
+            bits::compact3(static_cast<std::uint64_t>(s >> 126));
+        return lo | (mid << 21) | (hi << 42);
+      };
+      x = static_cast<wide_coord_t>(compact_wide(0));
+      y = static_cast<wide_coord_t>(compact_wide(1));
+      z = static_cast<wide_coord_t>(compact_wide(2));
+    }
+    lvl = level(q);
+  }
+
+  /// 32-bit coordinate interface of the common representation concept;
+  /// valid while coordinates fit 31 bits (levels <= 30 in 2D usage).
+  static quad_t from_coords(coord_t x, coord_t y, coord_t z, int lvl) {
+    return from_wide_coords(x, y, z, lvl);
+  }
+
+  static void to_coords(quad_t q, coord_t& x, coord_t& y, coord_t& z,
+                        int& lvl) {
+    wide_coord_t wx, wy, wz;
+    to_wide_coords(q, wx, wy, wz, lvl);
+    x = static_cast<coord_t>(wx);
+    y = static_cast<coord_t>(wy);
+    z = static_cast<coord_t>(wz);
+  }
+
+  static coord_t coord(quad_t q, int axis) {
+    coord_t x, y, z;
+    int lvl;
+    to_coords(q, x, y, z, lvl);
+    return axis == 0 ? x : axis == 1 ? y : z;
+  }
+
+  static bool inside_root(quad_t) { return true; }
+
+  static bool is_valid(quad_t q) {
+    const int lvl = level(q);
+    if (lvl < 0 || lvl > max_level) {
+      return false;
+    }
+    const quad_t idx = full_index(q);
+    if (idx >> index_bits) {
+      return false;
+    }
+    return (idx & low_mask128(Dim * (max_level - lvl))) == 0;
+  }
+
+  // --- Morton index transformations ---------------------------------------------
+
+  static quad_t morton_quadrant(morton_t il, int lvl) {
+    assert(lvl >= 0 && lvl <= max_level);
+    quad_t q = static_cast<quad_t>(lvl) << level_shift;
+    q |= static_cast<quad_t>(il) << (Dim * (max_level - lvl));
+    return q;
+  }
+
+  static morton_t level_index(quad_t q) {
+    assert(Dim * level(q) < 64);
+    return static_cast<morton_t>(full_index(q) >>
+                                 (Dim * (max_level - level(q))));
+  }
+
+  // --- family operations -----------------------------------------------------------
+
+  static int child_id(quad_t q) {
+    assert(level(q) > 0);
+    return static_cast<int>(
+        static_cast<unsigned>(full_index(q) >>
+                              (Dim * (max_level - level(q)))) &
+        (dims::num_children - 1));
+  }
+
+  static int ancestor_id(quad_t q, int lvl) {
+    assert(lvl > 0 && lvl <= level(q));
+    return static_cast<int>(
+        static_cast<unsigned>(full_index(q) >> (Dim * (max_level - lvl))) &
+        (dims::num_children - 1));
+  }
+
+  static quad_t child(quad_t q, int c) {
+    assert(level(q) < max_level);
+    const quad_t shift = static_cast<quad_t>(c)
+                         << (Dim * (max_level - (level(q) + 1)));
+    return (q | shift) + level_one;
+  }
+
+  static quad_t parent(quad_t q) {
+    assert(level(q) > 0);
+    const quad_t mask = static_cast<quad_t>(dims::num_children - 1)
+                        << (Dim * (max_level - level(q)));
+    return (q & ~mask) - level_one;
+  }
+
+  static quad_t sibling(quad_t q, int s) {
+    assert(level(q) > 0);
+    const int pos = Dim * (max_level - level(q));
+    const quad_t mask = static_cast<quad_t>(dims::num_children - 1) << pos;
+    return (q & ~mask) | (static_cast<quad_t>(s) << pos);
+  }
+
+  static quad_t successor(quad_t q) {
+    return q + (quad_t{1} << (Dim * (max_level - level(q))));
+  }
+
+  static quad_t predecessor(quad_t q) {
+    return q - (quad_t{1} << (Dim * (max_level - level(q))));
+  }
+
+  static quad_t ancestor(quad_t q, int lvl) {
+    assert(lvl >= 0 && lvl <= level(q));
+    const quad_t keep = ~low_mask128(Dim * (max_level - lvl));
+    return (full_index(q) & keep & index_mask) |
+           (static_cast<quad_t>(lvl) << level_shift);
+  }
+
+  static quad_t first_descendant(quad_t q, int lvl) {
+    assert(lvl >= level(q) && lvl <= max_level);
+    return full_index(q) | (static_cast<quad_t>(lvl) << level_shift);
+  }
+
+  static quad_t last_descendant(quad_t q, int lvl) {
+    assert(lvl >= level(q) && lvl <= max_level);
+    const quad_t fill = low_mask128(Dim * (max_level - level(q))) &
+                        ~low_mask128(Dim * (max_level - lvl));
+    return (full_index(q) | fill) |
+           (static_cast<quad_t>(lvl) << level_shift);
+  }
+
+  // --- neighborhood ------------------------------------------------------------------
+
+  static quad_t face_neighbor(quad_t q, int f) {
+    assert(f >= 0 && f < dims::num_faces);
+    const int lvl = level(q);
+    const quad_t maskl = ~low_mask128(Dim * (max_level - lvl));
+    const quad_t maskdir = (dir_base & maskl & index_mask) << (f >> 1);
+    quad_t r;
+    if (f & 1) {
+      r = (q | ~maskdir) + 1;
+    } else {
+      r = (q & maskdir) - 1;
+    }
+    return (r & maskdir) | (q & ~maskdir);
+  }
+
+  static quad_t corner_neighbor(quad_t q, int c) {
+    assert(c >= 0 && c < dims::num_corners);
+    quad_t r = q;
+    for (int i = 0; i < Dim; ++i) {
+      r = face_neighbor(r, 2 * i + ((c >> i) & 1));
+    }
+    return r;
+  }
+
+  static void tree_boundaries(quad_t q, int out[Dim]) {
+    const int lvl = level(q);
+    if (lvl == 0) {
+      for (int i = 0; i < Dim; ++i) {
+        out[i] = kBoundaryAll;
+      }
+      return;
+    }
+    const quad_t maskl = ~low_mask128(Dim * (max_level - lvl));
+    for (int i = 0; i < Dim; ++i) {
+      const quad_t dirmask = (dir_base & maskl & index_mask) << i;
+      const quad_t bitsdir = q & dirmask;
+      out[i] = bitsdir == 0 ? 2 * i
+                            : (bitsdir == dirmask ? 2 * i + 1 : kBoundaryNone);
+    }
+  }
+
+  // --- ordering and containment ---------------------------------------------------------
+
+  static bool equal(quad_t a, quad_t b) { return a == b; }
+
+  static bool less(quad_t a, quad_t b) {
+    const quad_t ia = full_index(a), ib = full_index(b);
+    if (ia != ib) {
+      return ia < ib;
+    }
+    return level(a) < level(b);
+  }
+
+  static bool is_ancestor(quad_t a, quad_t b) {
+    const int la = level(a), lb = level(b);
+    if (la >= lb) {
+      return false;
+    }
+    const int down = Dim * (max_level - la);
+    return (full_index(a) >> down) == (full_index(b) >> down);
+  }
+
+  static bool overlaps(quad_t a, quad_t b) {
+    return a == b || is_ancestor(a, b) || is_ancestor(b, a);
+  }
+
+  static quad_t nearest_common_ancestor(quad_t a, quad_t b) {
+    const quad_t diff = full_index(a) ^ full_index(b);
+    int lvl;
+    if (diff == 0) {
+      lvl = level(a) < level(b) ? level(a) : level(b);
+    } else {
+      const auto hi = static_cast<std::uint64_t>(diff >> 64);
+      const int hbit = hi ? 64 + bits::highest_bit(hi)
+                          : bits::highest_bit(static_cast<std::uint64_t>(diff));
+      lvl = max_level - hbit / Dim - 1;
+      lvl = lvl < level(a) ? lvl : level(a);
+      lvl = lvl < level(b) ? lvl : level(b);
+    }
+    return ancestor(a, lvl);
+  }
+};
+
+}  // namespace qforest

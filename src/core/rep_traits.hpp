@@ -1,0 +1,82 @@
+#pragma once
+/// \file rep_traits.hpp
+/// \brief The representation concept: the contract every quadrant encoding
+/// fulfills so high-level AMR algorithms are written exactly once.
+///
+/// This is the compile-time flavor of the paper's abstraction: "we abstract
+/// the quadrants' implementation to be varied while their logical
+/// information remains equivalent" (§2). Any class satisfying
+/// QuadrantRepresentation can back the forest layer; the library ships
+/// StandardRep, MortonRep, AvxRep and WideMortonRep.
+
+#include <concepts>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace qforest {
+
+/// Compile-time contract for a quadrant representation.
+///
+/// Semantics (see paper §2 definitions):
+///  - morton_quadrant(Il, l): quadrant with level-relative index Il
+///    (Definition of I_l; Algorithms 1/4/11)
+///  - child/parent/sibling per Definitions 2.1-2.5
+///  - face_neighbor per Definitions 2.6-2.7 (paper Algorithm 8)
+///  - tree_boundaries per Algorithm 12's {-2, -1, 2i, 2i+1} encoding
+///  - less is the total order "ancestors before descendants along the
+///    space-filling curve" used for linear octree storage
+template <class R>
+concept QuadrantRepresentation = requires(
+    const typename R::quad_t q, typename R::quad_t& qm, morton_t il, int i,
+    coord_t c, int out[3]) {
+  typename R::quad_t;
+  { R::dim } -> std::convertible_to<int>;
+  { R::max_level } -> std::convertible_to<int>;
+  { R::name } -> std::convertible_to<const char*>;
+
+  { R::root() } -> std::same_as<typename R::quad_t>;
+  { R::level(q) } -> std::convertible_to<int>;
+  { R::from_coords(c, c, c, i) } -> std::same_as<typename R::quad_t>;
+  { R::morton_quadrant(il, i) } -> std::same_as<typename R::quad_t>;
+  { R::level_index(q) } -> std::convertible_to<morton_t>;
+
+  { R::child(q, i) } -> std::same_as<typename R::quad_t>;
+  { R::parent(q) } -> std::same_as<typename R::quad_t>;
+  { R::sibling(q, i) } -> std::same_as<typename R::quad_t>;
+  { R::successor(q) } -> std::same_as<typename R::quad_t>;
+  { R::predecessor(q) } -> std::same_as<typename R::quad_t>;
+  { R::ancestor(q, i) } -> std::same_as<typename R::quad_t>;
+  { R::first_descendant(q, i) } -> std::same_as<typename R::quad_t>;
+  { R::last_descendant(q, i) } -> std::same_as<typename R::quad_t>;
+  { R::child_id(q) } -> std::convertible_to<int>;
+
+  { R::face_neighbor(q, i) } -> std::same_as<typename R::quad_t>;
+  { R::tree_boundaries(q, out) };
+
+  { R::equal(q, q) } -> std::convertible_to<bool>;
+  { R::less(q, q) } -> std::convertible_to<bool>;
+  { R::is_ancestor(q, q) } -> std::convertible_to<bool>;
+  { R::overlaps(q, q) } -> std::convertible_to<bool>;
+  { R::nearest_common_ancestor(q, q) } -> std::same_as<typename R::quad_t>;
+  { R::is_valid(q) } -> std::convertible_to<bool>;
+  { R::inside_root(q) } -> std::convertible_to<bool>;
+};
+
+/// Comparator adapter for std::sort and friends.
+template <class R>
+struct RepLess {
+  bool operator()(const typename R::quad_t& a,
+                  const typename R::quad_t& b) const {
+    return R::less(a, b);
+  }
+};
+
+/// True when \p a and \p b are adjacent or identical in the family sense:
+/// neither strictly precedes the other's first descendant ordering-wise.
+template <class R>
+bool rep_leq(const typename R::quad_t& a, const typename R::quad_t& b) {
+  return !R::less(b, a);
+}
+
+}  // namespace qforest

@@ -1,0 +1,50 @@
+#pragma once
+/// \file curve.hpp
+/// \brief Space-filling-curve abstraction (paper §2 / future work).
+///
+/// The paper's first stated abstraction goal is "to allow for different
+/// space filling curves and orderings while writing the octree algorithms
+/// just once". This header defines that seam: a curve maps between
+/// per-level grid coordinates and a linear index. The Morton curve is the
+/// identity-cost default (it *is* the bit interleaving the representations
+/// store); the Hilbert curve (hilbert.hpp) is the alternative, matching
+/// the Cornerstone comparison the paper cites [16].
+
+#include <cstdint>
+
+#include "core/bits.hpp"
+#include "core/types.hpp"
+
+namespace qforest::sfc {
+
+/// Z-order / Morton curve: index = bit interleaving of coordinates.
+struct MortonCurve {
+  static constexpr const char* name = "morton";
+
+  /// Index of cell (x, y) on the 2^level x 2^level grid.
+  static std::uint64_t index2(std::uint32_t x, std::uint32_t y, int level) {
+    (void)level;
+    return bits::interleave2(x, y);
+  }
+
+  /// Index of cell (x, y, z) on the cubic level grid.
+  static std::uint64_t index3(std::uint32_t x, std::uint32_t y,
+                              std::uint32_t z, int level) {
+    (void)level;
+    return bits::interleave3(x, y, z);
+  }
+
+  static void coords2(std::uint64_t idx, int level, std::uint32_t& x,
+                      std::uint32_t& y) {
+    (void)level;
+    bits::deinterleave2(idx, x, y);
+  }
+
+  static void coords3(std::uint64_t idx, int level, std::uint32_t& x,
+                      std::uint32_t& y, std::uint32_t& z) {
+    (void)level;
+    bits::deinterleave3(idx, x, y, z);
+  }
+};
+
+}  // namespace qforest::sfc

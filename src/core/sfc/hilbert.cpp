@@ -1,0 +1,141 @@
+#include "core/sfc/hilbert.hpp"
+
+#include <cassert>
+
+namespace qforest::sfc {
+
+// Both dimensions use John Skilling's transpose algorithm
+// ("Programming the Hilbert curve", AIP Conf. Proc. 707, 2004): the
+// Hilbert index is carried as n coordinate words whose bits, read across
+// words from the top bit down, spell the index ("transposed" form).
+// AxesToTranspose/TransposeToAxes convert in O(n * level) with no state
+// tables; adjacency of consecutive indices is verified by property tests.
+
+namespace {
+
+constexpr int kMaxDims = 3;
+
+void axes_to_transpose(std::uint32_t* x, int bits, int n) {
+  if (bits == 0) {
+    return;
+  }
+  std::uint32_t m = std::uint32_t{1} << (bits - 1);
+  // Inverse undo.
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        const std::uint32_t t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < n; ++i) {
+    x[i] ^= x[i - 1];
+  }
+  std::uint32_t t = 0;
+  for (std::uint32_t q = m; q > 1; q >>= 1) {
+    if (x[n - 1] & q) {
+      t ^= q - 1;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    x[i] ^= t;
+  }
+}
+
+void transpose_to_axes(std::uint32_t* x, int bits, int n) {
+  if (bits == 0) {
+    return;
+  }
+  const std::uint32_t m = std::uint32_t{2} << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = x[n - 1] >> 1;
+  for (int i = n - 1; i > 0; --i) {
+    x[i] ^= x[i - 1];
+  }
+  x[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t q = 2; q != m; q <<= 1) {
+    const std::uint32_t p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+}
+
+/// Pack the transposed form into one linear index: bit b of word j maps to
+/// index bit n*b + (n-1-j), i.e. word 0 holds the most significant bit of
+/// each n-bit group.
+std::uint64_t pack_transpose(const std::uint32_t* x, int bits, int n) {
+  std::uint64_t idx = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int j = 0; j < n; ++j) {
+      idx = (idx << 1) | ((x[j] >> b) & 1u);
+    }
+  }
+  return idx;
+}
+
+void unpack_transpose(std::uint64_t idx, std::uint32_t* x, int bits, int n) {
+  for (int j = 0; j < n; ++j) {
+    x[j] = 0;
+  }
+  for (int b = 0; b < bits; ++b) {
+    for (int j = n - 1; j >= 0; --j) {
+      x[j] |= static_cast<std::uint32_t>(idx & 1u) << b;
+      idx >>= 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t HilbertCurve::index2(std::uint32_t x, std::uint32_t y,
+                                   int level) {
+  assert(level >= 0 && level <= 31);
+  std::uint32_t ax[kMaxDims] = {x, y, 0};
+  axes_to_transpose(ax, level, 2);
+  return pack_transpose(ax, level, 2);
+}
+
+void HilbertCurve::coords2(std::uint64_t idx, int level, std::uint32_t& x,
+                           std::uint32_t& y) {
+  assert(level >= 0 && level <= 31);
+  std::uint32_t ax[kMaxDims] = {0, 0, 0};
+  unpack_transpose(idx, ax, level, 2);
+  transpose_to_axes(ax, level, 2);
+  x = ax[0];
+  y = ax[1];
+}
+
+std::uint64_t HilbertCurve::index3(std::uint32_t x, std::uint32_t y,
+                                   std::uint32_t z, int level) {
+  assert(level >= 0 && level <= 21);
+  std::uint32_t ax[kMaxDims] = {x, y, z};
+  axes_to_transpose(ax, level, 3);
+  return pack_transpose(ax, level, 3);
+}
+
+void HilbertCurve::coords3(std::uint64_t idx, int level, std::uint32_t& x,
+                           std::uint32_t& y, std::uint32_t& z) {
+  assert(level >= 0 && level <= 21);
+  std::uint32_t ax[kMaxDims] = {0, 0, 0};
+  unpack_transpose(idx, ax, level, 3);
+  transpose_to_axes(ax, level, 3);
+  x = ax[0];
+  y = ax[1];
+  z = ax[2];
+}
+
+}  // namespace qforest::sfc

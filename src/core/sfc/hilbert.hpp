@@ -1,0 +1,36 @@
+#pragma once
+/// \file hilbert.hpp
+/// \brief Hilbert space-filling curve (alternative ordering; paper future
+/// work, cf. Cornerstone [16] which chose Hilbert over Morton).
+///
+/// Implements the classical Butz/Lawder iterative algorithm in 2D and 3D:
+/// per refinement level the child octant is rotated/reflected according to
+/// a state table so consecutive indices are always face-adjacent — the
+/// locality property Morton lacks. Used by tests to demonstrate the curve
+/// abstraction and by bench_interleave to compare transformation costs.
+
+#include <cstdint>
+
+namespace qforest::sfc {
+
+/// Hilbert curve index transformations.
+struct HilbertCurve {
+  static constexpr const char* name = "hilbert";
+
+  /// Index of cell (x, y) on the 2^level grid along the Hilbert curve.
+  static std::uint64_t index2(std::uint32_t x, std::uint32_t y, int level);
+
+  /// Inverse of index2.
+  static void coords2(std::uint64_t idx, int level, std::uint32_t& x,
+                      std::uint32_t& y);
+
+  /// Index of cell (x, y, z) on the cubic 2^level grid.
+  static std::uint64_t index3(std::uint32_t x, std::uint32_t y,
+                              std::uint32_t z, int level);
+
+  /// Inverse of index3.
+  static void coords3(std::uint64_t idx, int level, std::uint32_t& x,
+                      std::uint32_t& y, std::uint32_t& z);
+};
+
+}  // namespace qforest::sfc

@@ -1,0 +1,53 @@
+#pragma once
+/// \file types.hpp
+/// \brief Shared scalar types and dimension constants for quadrant code.
+///
+/// Terminology follows the paper (and p4est): "quadrant" is used in both
+/// 2D and 3D; the template parameter `Dim` selects quadtrees (2) or
+/// octrees (3). Coordinates are integers on the 2^L grid of the enclosing
+/// unit tree, where L is the representation's maximum refinement level;
+/// a quadrant of level l has integer side length h = 2^(L-l) (paper §2.1).
+
+#include <cstdint>
+
+namespace qforest {
+
+/// Integer coordinate within the unit tree, relative to a 2^L grid.
+using coord_t = std::int32_t;
+
+/// Refinement level; root is 0.
+using level_t = std::int8_t;
+
+/// Morton / space-filling-curve index.
+using morton_t = std::uint64_t;
+
+/// Global quadrant counts (paper: N up to 10^6 MPI ranks scale).
+using gidx_t = std::int64_t;
+
+/// Compile-time constants that depend only on the spatial dimension.
+template <int Dim>
+struct DimConstants {
+  static_assert(Dim == 2 || Dim == 3, "qforest supports 2D and 3D");
+
+  static constexpr int dim = Dim;
+  /// 2^d children per refinement (4 quadrants / 8 octants).
+  static constexpr int num_children = 1 << Dim;
+  /// 2d axis faces, ordered -x,+x,-y,+y[,-z,+z] (p4est convention).
+  static constexpr int num_faces = 2 * Dim;
+  /// 2^d corners in z-order.
+  static constexpr int num_corners = 1 << Dim;
+  /// 12 edges in 3D, none in 2D.
+  static constexpr int num_edges = Dim == 3 ? 12 : 0;
+};
+
+/// Values returned by tree_boundaries (paper Algorithm 12): per direction
+/// i, the face index of the unit tree touched by the quadrant.
+enum TreeBoundary : int {
+  /// Quadrant touches all boundaries (it is the root, level 0).
+  kBoundaryAll = -2,
+  /// Quadrant does not touch the tree boundary in this direction.
+  kBoundaryNone = -1
+  // Otherwise the value is the face index 2*i or 2*i+1.
+};
+
+}  // namespace qforest

@@ -1,0 +1,57 @@
+#include "core/virtual_ops.hpp"
+
+#include <stdexcept>
+
+#include "core/quadrant_avx.hpp"
+#include "core/quadrant_morton.hpp"
+#include "core/quadrant_std.hpp"
+#include "core/quadrant_wide.hpp"
+
+namespace qforest {
+
+RepKind rep_kind_from_string(const std::string& s) {
+  if (s == "standard") return RepKind::kStandard;
+  if (s == "morton") return RepKind::kMorton;
+  if (s == "avx") return RepKind::kAvx;
+  if (s == "wide-morton" || s == "wide") return RepKind::kWideMorton;
+  throw std::invalid_argument("unknown quadrant representation: " + s);
+}
+
+const char* rep_kind_name(RepKind kind) {
+  switch (kind) {
+    case RepKind::kStandard: return "standard";
+    case RepKind::kMorton: return "morton";
+    case RepKind::kAvx: return "avx";
+    case RepKind::kWideMorton: return "wide-morton";
+  }
+  return "?";
+}
+
+const VirtualQuadrantOps& virtual_ops(RepKind kind, int dim) {
+  static const VirtualOpsAdapter<StandardRep<2>> std2;
+  static const VirtualOpsAdapter<StandardRep<3>> std3;
+  static const VirtualOpsAdapter<MortonRep<2>> mor2;
+  static const VirtualOpsAdapter<MortonRep<3>> mor3;
+  static const VirtualOpsAdapter<AvxRep<2>> avx2;
+  static const VirtualOpsAdapter<AvxRep<3>> avx3;
+  static const VirtualOpsAdapter<WideMortonRep<2>> wide2;
+  static const VirtualOpsAdapter<WideMortonRep<3>> wide3;
+
+  if (dim != 2 && dim != 3) {
+    throw std::invalid_argument("virtual_ops: dim must be 2 or 3");
+  }
+  const bool d3 = dim == 3;
+  switch (kind) {
+    case RepKind::kStandard:
+      return d3 ? static_cast<const VirtualQuadrantOps&>(std3) : std2;
+    case RepKind::kMorton:
+      return d3 ? static_cast<const VirtualQuadrantOps&>(mor3) : mor2;
+    case RepKind::kAvx:
+      return d3 ? static_cast<const VirtualQuadrantOps&>(avx3) : avx2;
+    case RepKind::kWideMorton:
+      return d3 ? static_cast<const VirtualQuadrantOps&>(wide3) : wide2;
+  }
+  throw std::invalid_argument("virtual_ops: unknown representation kind");
+}
+
+}  // namespace qforest

@@ -1,0 +1,902 @@
+#pragma once
+/// \file forest.hpp
+/// \brief Forest of octrees: linear leaf storage + high-level AMR algorithms.
+///
+/// This is the p4est substrate the paper's quadrant representations plug
+/// into: trees store only their leaves, sorted along the space-filling
+/// curve ("linear octree", paper §2), and the high-level algorithms —
+/// new/refine/coarsen/balance/partition/ghost/search/iterate — are written
+/// once against the QuadrantRepresentation concept, so switching the
+/// low-level encoding never touches this file. That is precisely the
+/// abstraction the paper proposes ("to change between multiple sets of
+/// quadrant representations ... using the same high-level algorithm").
+///
+/// Parallel semantics: the forest holds the global leaf sequence in shared
+/// memory and maintains a partition of the global Morton order into
+/// contiguous rank ranges (DESIGN.md §4 explains this MPI substitution).
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "core/rep_traits.hpp"
+#include "core/types.hpp"
+#include "forest/connectivity.hpp"
+#include "par/communicator.hpp"
+
+namespace qforest {
+
+/// Which neighbor relations the 2:1 balance constraint covers.
+enum class BalanceKind {
+  kFace,   ///< across faces only
+  kEdge,   ///< faces + edges (3D; equals kFace in 2D)
+  kFull    ///< faces + edges + corners
+};
+
+/// Ghost layer of one simulated rank: remote leaves adjacent to the
+/// rank's own leaves, sorted by (tree, Morton order).
+template <class R>
+struct GhostLayer {
+  struct Entry {
+    tree_id_t tree;
+    typename R::quad_t quad;
+    int owner;            ///< owning rank
+    gidx_t global_index;  ///< position in the global leaf sequence
+  };
+  std::vector<Entry> entries;
+};
+
+/// Information passed to the face iteration callback.
+template <class R>
+struct FaceInfo {
+  /// side 0 is the emitting leaf; side 1 the neighbor (absent on boundary).
+  tree_id_t tree[2] = {-1, -1};
+  typename R::quad_t quad[2] = {};
+  std::size_t leaf_index[2] = {0, 0};  ///< index within the owning tree
+  int face[2] = {-1, -1};              ///< face id as seen from each side
+  bool is_boundary = false;            ///< physical domain boundary
+  bool is_hanging = false;             ///< side 0 finer than side 1
+};
+
+/// A forest of axis-aligned unit trees storing leaf quadrants of
+/// representation \p R.
+template <class R>
+  requires QuadrantRepresentation<R>
+class Forest {
+ public:
+  using rep = R;
+  using quad_t = typename R::quad_t;
+  static constexpr int dim = R::dim;
+  using dims = DimConstants<dim>;
+
+  // ---------------------------------------------------------------- creation
+
+  /// Forest of root quadrants: one leaf per tree.
+  static Forest new_root(Connectivity conn, int num_ranks = 1) {
+    return new_uniform(std::move(conn), 0, num_ranks);
+  }
+
+  /// Uniformly refined forest at \p level, built per tree by repeated
+  /// Morton construction (this is the workload of the paper's §3.2 memory
+  /// experiment).
+  static Forest new_uniform(Connectivity conn, int level, int num_ranks = 1) {
+    if (conn.dim() != dim) {
+      throw std::invalid_argument("Forest: connectivity dimension mismatch");
+    }
+    if (level < 0 || level > R::max_level || dim * level >= 64) {
+      throw std::invalid_argument("Forest: level out of range");
+    }
+    Forest f(std::move(conn), num_ranks);
+    const auto n = static_cast<std::uint64_t>(1)
+                   << (static_cast<unsigned>(dim * level));
+    for (auto& tree : f.trees_) {
+      tree.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        tree.push_back(R::morton_quadrant(i, level));
+      }
+    }
+    f.rebuild_offsets();
+    f.partition();
+    return f;
+  }
+
+  // ---------------------------------------------------------------- accessors
+
+  [[nodiscard]] const Connectivity& connectivity() const { return conn_; }
+  [[nodiscard]] tree_id_t num_trees() const {
+    return static_cast<tree_id_t>(trees_.size());
+  }
+  [[nodiscard]] int num_ranks() const { return comm_.size(); }
+
+  /// Global number of leaves over all trees.
+  [[nodiscard]] gidx_t num_quadrants() const { return tree_offsets_.back(); }
+
+  /// Leaves of tree \p t in Morton order.
+  [[nodiscard]] const std::vector<quad_t>& tree_quadrants(tree_id_t t) const {
+    return trees_[static_cast<std::size_t>(t)];
+  }
+
+  /// Position of leaf (t, i) in the global leaf sequence.
+  [[nodiscard]] gidx_t global_index(tree_id_t t, std::size_t i) const {
+    return tree_offsets_[static_cast<std::size_t>(t)] +
+           static_cast<gidx_t>(i);
+  }
+
+  /// Rank owning global leaf index \p g under the current partition.
+  [[nodiscard]] int owner_rank(gidx_t g) const {
+    return par::Communicator::owner_of(rank_offsets_, g);
+  }
+
+  /// Global index range [first, last) owned by \p rank.
+  [[nodiscard]] std::pair<gidx_t, gidx_t> rank_range(int rank) const {
+    return {rank_offsets_[static_cast<std::size_t>(rank)],
+            rank_offsets_[static_cast<std::size_t>(rank) + 1]};
+  }
+
+  /// Map a global leaf index to (tree, index-within-tree).
+  [[nodiscard]] std::pair<tree_id_t, std::size_t> locate(gidx_t g) const {
+    assert(g >= 0 && g < num_quadrants());
+    const auto it =
+        std::upper_bound(tree_offsets_.begin(), tree_offsets_.end(), g);
+    const auto t = static_cast<tree_id_t>(it - tree_offsets_.begin()) - 1;
+    return {t, static_cast<std::size_t>(g - tree_offsets_[
+                   static_cast<std::size_t>(t)])};
+  }
+
+  /// Number of leaves at refinement level \p l.
+  [[nodiscard]] gidx_t count_level(int l) const {
+    gidx_t n = 0;
+    for (const auto& tree : trees_) {
+      for (const quad_t& q : tree) {
+        n += R::level(q) == l ? 1 : 0;
+      }
+    }
+    return n;
+  }
+
+  /// Finest level present in the forest.
+  [[nodiscard]] int max_level_used() const {
+    int m = 0;
+    for (const auto& tree : trees_) {
+      for (const quad_t& q : tree) {
+        m = std::max(m, R::level(q));
+      }
+    }
+    return m;
+  }
+
+  // ---------------------------------------------------------------- refine
+
+  /// Refine leaves for which \p should_refine(tree, quad) returns true.
+  /// With \p recursive, children are re-examined until the callback
+  /// declines or max_level is reached (p4est refine semantics).
+  template <class Fn>
+  void refine(bool recursive, Fn&& should_refine) {
+    for (tree_id_t t = 0; t < num_trees(); ++t) {
+      auto& tree = trees_[static_cast<std::size_t>(t)];
+      std::vector<quad_t> out;
+      out.reserve(tree.size());
+      std::vector<std::uint64_t> out_payload;
+      std::vector<quad_t> stack;
+      for (std::size_t qi = 0; qi < tree.size(); ++qi) {
+        const quad_t& q = tree[qi];
+        const std::uint64_t pl =
+            payload_enabled_ ? payloads_[static_cast<std::size_t>(t)][qi]
+                             : 0;
+        if (R::level(q) >= R::max_level || !should_refine(t, q)) {
+          out.push_back(q);
+          if (payload_enabled_) {
+            out_payload.push_back(pl);
+          }
+          continue;
+        }
+        stack.clear();
+        stack.push_back(q);
+        while (!stack.empty()) {
+          const quad_t cur = stack.back();
+          stack.pop_back();
+          const bool split = R::level(cur) < R::max_level &&
+                             (R::equal(cur, q) ||
+                              (recursive && should_refine(t, cur)));
+          if (!split) {
+            out.push_back(cur);
+            if (payload_enabled_) {
+              out_payload.push_back(pl);  // children inherit the parent's
+            }
+            continue;
+          }
+          // Push children in reverse so they pop in Morton order.
+          for (int c = dims::num_children - 1; c >= 0; --c) {
+            stack.push_back(R::child(cur, c));
+          }
+        }
+      }
+      tree = std::move(out);
+      if (payload_enabled_) {
+        payloads_[static_cast<std::size_t>(t)] = std::move(out_payload);
+      }
+    }
+    rebuild_offsets();
+    partition();
+  }
+
+  // ---------------------------------------------------------------- coarsen
+
+  /// Replace complete sibling families accepted by
+  /// \p should_coarsen(tree, family-pointer) with their parent. With
+  /// \p recursive, passes repeat until no family is coarsened.
+  template <class Fn>
+  void coarsen(bool recursive, Fn&& should_coarsen) {
+    bool changed_any = true;
+    while (changed_any) {
+      changed_any = false;
+      for (tree_id_t t = 0; t < num_trees(); ++t) {
+        auto& tree = trees_[static_cast<std::size_t>(t)];
+        std::vector<quad_t> out;
+        out.reserve(tree.size());
+        std::vector<std::uint64_t> out_payload;
+        std::size_t i = 0;
+        while (i < tree.size()) {
+          if (is_family_at(tree, i) &&
+              should_coarsen(t, tree.data() + i)) {
+            out.push_back(R::parent(tree[i]));
+            if (payload_enabled_) {
+              // The parent takes the first child's payload.
+              out_payload.push_back(
+                  payloads_[static_cast<std::size_t>(t)][i]);
+            }
+            i += dims::num_children;
+            changed_any = true;
+          } else {
+            out.push_back(tree[i]);
+            if (payload_enabled_) {
+              out_payload.push_back(
+                  payloads_[static_cast<std::size_t>(t)][i]);
+            }
+            ++i;
+          }
+        }
+        tree = std::move(out);
+        if (payload_enabled_) {
+          payloads_[static_cast<std::size_t>(t)] = std::move(out_payload);
+        }
+      }
+      if (!recursive) {
+        break;
+      }
+    }
+    rebuild_offsets();
+    partition();
+  }
+
+  // ---------------------------------------------------------------- balance
+
+  /// Enforce the 2:1 level condition across the chosen neighbor relations
+  /// (including across tree faces) by iterated splitting until fixpoint.
+  void balance(BalanceKind kind = BalanceKind::kFull) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      // Collect split requests per tree, then apply them in one sweep.
+      std::vector<std::vector<std::uint8_t>> split(trees_.size());
+      for (std::size_t t = 0; t < trees_.size(); ++t) {
+        split[t].assign(trees_[t].size(), 0);
+      }
+      for (tree_id_t t = 0; t < num_trees(); ++t) {
+        const auto& tree = trees_[static_cast<std::size_t>(t)];
+        for (const quad_t& q : tree) {
+          const int lvl = R::level(q);
+          if (lvl < 2) {
+            continue;  // neighbors can never be two levels coarser
+          }
+          for_each_neighbor_offset(kind, [&](int dx, int dy, int dz) {
+            const auto nb = neighbor_at_offset(t, q, dx, dy, dz);
+            if (!nb.has_value()) {
+              return;  // physical boundary
+            }
+            const auto enclosing = find_enclosing_leaf(nb->tree, nb->quad);
+            if (enclosing.has_value()) {
+              const quad_t& leaf =
+                  trees_[static_cast<std::size_t>(nb->tree)][*enclosing];
+              if (R::level(leaf) < lvl - 1) {
+                split[static_cast<std::size_t>(nb->tree)][*enclosing] = 1;
+              }
+            }
+          });
+        }
+      }
+      for (std::size_t t = 0; t < trees_.size(); ++t) {
+        if (std::find(split[t].begin(), split[t].end(), 1) ==
+            split[t].end()) {
+          continue;
+        }
+        changed = true;
+        std::vector<quad_t> out;
+        out.reserve(trees_[t].size() + dims::num_children);
+        std::vector<std::uint64_t> out_payload;
+        for (std::size_t i = 0; i < trees_[t].size(); ++i) {
+          if (!split[t][i]) {
+            out.push_back(trees_[t][i]);
+            if (payload_enabled_) {
+              out_payload.push_back(payloads_[t][i]);
+            }
+            continue;
+          }
+          for (int c = 0; c < dims::num_children; ++c) {
+            out.push_back(R::child(trees_[t][i], c));
+            if (payload_enabled_) {
+              out_payload.push_back(payloads_[t][i]);
+            }
+          }
+        }
+        trees_[t] = std::move(out);
+        if (payload_enabled_) {
+          payloads_[t] = std::move(out_payload);
+        }
+      }
+    }
+    rebuild_offsets();
+    partition();
+  }
+
+  /// Check the 2:1 condition without modifying the forest.
+  [[nodiscard]] bool is_balanced(BalanceKind kind = BalanceKind::kFull) const {
+    for (tree_id_t t = 0; t < num_trees(); ++t) {
+      for (const quad_t& q : trees_[static_cast<std::size_t>(t)]) {
+        const int lvl = R::level(q);
+        if (lvl < 2) {
+          continue;
+        }
+        bool ok = true;
+        for_each_neighbor_offset(kind, [&](int dx, int dy, int dz) {
+          if (!ok) {
+            return;
+          }
+          const auto nb = neighbor_at_offset(t, q, dx, dy, dz);
+          if (!nb.has_value()) {
+            return;
+          }
+          const auto enclosing = find_enclosing_leaf(nb->tree, nb->quad);
+          if (enclosing.has_value()) {
+            const quad_t& leaf =
+                trees_[static_cast<std::size_t>(nb->tree)][*enclosing];
+            if (R::level(leaf) < lvl - 1) {
+              ok = false;
+            }
+          }
+        });
+        if (!ok) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // ---------------------------------------------------------------- partition
+
+  /// Repartition the global Morton order into contiguous rank ranges with
+  /// near-equal total weight; \p weight(tree, quad) must be positive.
+  template <class Fn>
+  void partition_weighted(Fn&& weight) {
+    const gidx_t n = num_quadrants();
+    const int p = comm_.size();
+    std::vector<std::int64_t> prefix;
+    prefix.reserve(static_cast<std::size_t>(n) + 1);
+    prefix.push_back(0);
+    for (tree_id_t t = 0; t < num_trees(); ++t) {
+      for (const quad_t& q : trees_[static_cast<std::size_t>(t)]) {
+        const std::int64_t w = weight(t, q);
+        assert(w > 0 && "partition weights must be positive");
+        prefix.push_back(prefix.back() + w);
+      }
+    }
+    const std::int64_t total = prefix.back();
+    rank_offsets_.assign(static_cast<std::size_t>(p) + 1, 0);
+    for (int r = 1; r < p; ++r) {
+      // First quadrant whose preceding cumulative weight reaches r/p of
+      // the total (p4est_partition_cut_uint64 semantics).
+      const auto target = static_cast<std::int64_t>(
+          (static_cast<__int128>(total) * r + p - 1) / p);
+      const auto it =
+          std::lower_bound(prefix.begin(), prefix.end(), target);
+      rank_offsets_[static_cast<std::size_t>(r)] =
+          static_cast<gidx_t>(it - prefix.begin());
+      if (rank_offsets_[static_cast<std::size_t>(r)] > n) {
+        rank_offsets_[static_cast<std::size_t>(r)] = n;
+      }
+    }
+    rank_offsets_.back() = n;
+    for (int r = 1; r <= p; ++r) {
+      rank_offsets_[static_cast<std::size_t>(r)] =
+          std::max(rank_offsets_[static_cast<std::size_t>(r)],
+                   rank_offsets_[static_cast<std::size_t>(r) - 1]);
+    }
+  }
+
+  /// Uniform repartition (weight 1 per leaf).
+  void partition() {
+    rank_offsets_ = comm_.block_distribution(num_quadrants());
+  }
+
+  // ---------------------------------------------------------------- ghost
+
+  /// Remote leaves adjacent (faces, edges and corners) to \p rank's own.
+  [[nodiscard]] GhostLayer<R> ghost_layer(int rank) const {
+    GhostLayer<R> ghost;
+    const auto [first, last] = rank_range(rank);
+    std::vector<gidx_t> seen;
+    for (gidx_t g = first; g < last; ++g) {
+      const auto [t, i] = locate(g);
+      const quad_t& q = trees_[static_cast<std::size_t>(t)][i];
+      for_each_neighbor_offset(BalanceKind::kFull,
+                               [&](int dx, int dy, int dz) {
+        const auto nb = neighbor_at_offset(t, q, dx, dy, dz);
+        if (!nb.has_value()) {
+          return;
+        }
+        collect_touching_leaves(*nb, t, q, [&](std::size_t leaf_idx) {
+          const gidx_t lg = global_index(nb->tree, leaf_idx);
+          if (lg < first || lg >= last) {
+            seen.push_back(lg);
+          }
+        });
+      });
+    }
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    ghost.entries.reserve(seen.size());
+    for (gidx_t g : seen) {
+      const auto [t, i] = locate(g);
+      ghost.entries.push_back({t, trees_[static_cast<std::size_t>(t)][i],
+                               owner_rank(g), g});
+    }
+    return ghost;
+  }
+
+  /// Mirror leaves of \p rank: the rank's own leaves that appear in some
+  /// other rank's ghost layer (the data it must send in an exchange).
+  /// Returned as sorted global indices.
+  [[nodiscard]] std::vector<gidx_t> mirrors(int rank) const {
+    std::vector<gidx_t> out;
+    const auto [first, last] = rank_range(rank);
+    for (int r = 0; r < comm_.size(); ++r) {
+      if (r == rank) {
+        continue;
+      }
+      for (const auto& e : ghost_layer(r).entries) {
+        if (e.global_index >= first && e.global_index < last) {
+          out.push_back(e.global_index);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  /// Simulated ghost data exchange (p4est_ghost_exchange_data): fill each
+  /// ghost entry of \p rank with the owner's payload. Requires the
+  /// payload channel. Returns one value per ghost entry, in ghost order.
+  [[nodiscard]] std::vector<std::uint64_t> ghost_exchange(
+      int rank, const GhostLayer<R>& ghost) const {
+    assert(payload_enabled_);
+    std::vector<std::uint64_t> data;
+    data.reserve(ghost.entries.size());
+    for (const auto& e : ghost.entries) {
+      const auto [t, i] = locate(e.global_index);
+      data.push_back(payloads_[static_cast<std::size_t>(t)][i]);
+    }
+    (void)rank;
+    return data;
+  }
+
+  // ---------------------------------------------------------------- search
+
+  /// Top-down traversal per tree (p4est_search): \p cb(tree, ancestor,
+  /// first, last, is_leaf) sees the leaf range [first, last) covered by
+  /// the ancestor and prunes the descent by returning false.
+  template <class Fn>
+  void search(Fn&& cb) const {
+    for (tree_id_t t = 0; t < num_trees(); ++t) {
+      const auto& tree = trees_[static_cast<std::size_t>(t)];
+      if (!tree.empty()) {
+        search_recursion(t, R::root(), 0, tree.size(), cb);
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------- iterate
+
+  /// Visit every face between leaves exactly once, plus every physical
+  /// boundary face. Works on non-2:1-balanced forests as well (the
+  /// paper's future-work item 4): hanging pairs are emitted from the
+  /// finer side, equal-size pairs from the globally lower leaf.
+  template <class Fn>
+  void iterate_faces(Fn&& cb) const {
+    for (tree_id_t t = 0; t < num_trees(); ++t) {
+      const auto& tree = trees_[static_cast<std::size_t>(t)];
+      for (std::size_t i = 0; i < tree.size(); ++i) {
+        const quad_t& q = tree[i];
+        for (int f = 0; f < dims::num_faces; ++f) {
+          emit_face(t, i, q, f, cb);
+        }
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------- checks
+
+  /// Full structural validation: every leaf valid and inside its tree,
+  /// per-tree arrays sorted strictly, non-overlapping, and complete
+  /// (leaves cover each tree exactly).
+  [[nodiscard]] bool is_valid() const {
+    for (tree_id_t t = 0; t < num_trees(); ++t) {
+      const auto& tree = trees_[static_cast<std::size_t>(t)];
+      if (tree.empty()) {
+        return false;
+      }
+      for (const quad_t& q : tree) {
+        if (!R::is_valid(q) || !R::inside_root(q)) {
+          return false;
+        }
+      }
+      for (std::size_t i = 0; i + 1 < tree.size(); ++i) {
+        if (!R::less(tree[i], tree[i + 1]) ||
+            R::overlaps(tree[i], tree[i + 1])) {
+          return false;
+        }
+      }
+      if (!is_complete_range(R::root(), tree.data(),
+                             tree.data() + tree.size())) {
+        return false;
+      }
+    }
+    if (rank_offsets_.front() != 0 || rank_offsets_.back() != num_quadrants()) {
+      return false;
+    }
+    return std::is_sorted(rank_offsets_.begin(), rank_offsets_.end());
+  }
+
+  /// Replace the entire leaf storage (used by deserialization and by
+  /// tests constructing meshes directly). The caller provides one sorted
+  /// leaf vector per tree; offsets and the partition are rebuilt. Call
+  /// is_valid() afterwards to verify structural soundness.
+  void replace_leaves(std::vector<std::vector<quad_t>> trees) {
+    if (trees.size() != trees_.size()) {
+      throw std::invalid_argument(
+          "Forest::replace_leaves: tree count mismatch");
+    }
+    trees_ = std::move(trees);
+    if (payload_enabled_) {
+      for (std::size_t t = 0; t < trees_.size(); ++t) {
+        payloads_[t].assign(trees_[t].size(), 0);
+      }
+    }
+    rebuild_offsets();
+    partition();
+  }
+
+  // ---------------------------------------------------------------- payload
+
+  /// Enable the per-leaf payload channel (8 bytes per leaf, the standard
+  /// representation's historic user data). The compact encodings carry no
+  /// payload bits, so the forest stores payloads in a parallel side array
+  /// (structure-of-arrays) and keeps it synchronized across refine (children
+  /// inherit the parent's value), coarsen (the parent takes the first
+  /// child's value) and balance.
+  void enable_payload(std::uint64_t initial = 0) {
+    payload_enabled_ = true;
+    payloads_.resize(trees_.size());
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+      payloads_[t].assign(trees_[t].size(), initial);
+    }
+  }
+
+  [[nodiscard]] bool payload_enabled() const { return payload_enabled_; }
+
+  /// Payload array of tree \p t, parallel to tree_quadrants(t).
+  [[nodiscard]] const std::vector<std::uint64_t>& tree_payloads(
+      tree_id_t t) const {
+    assert(payload_enabled_);
+    return payloads_[static_cast<std::size_t>(t)];
+  }
+
+  /// Mutable payload of leaf (t, i).
+  std::uint64_t& payload(tree_id_t t, std::size_t i) {
+    assert(payload_enabled_);
+    return payloads_[static_cast<std::size_t>(t)][i];
+  }
+
+  // ------------------------------------------------------------ neighbor API
+
+  /// Result of a neighbor lookup: the neighbor's tree and quadrant plus
+  /// the tree-grid steps taken across tree faces (0 when staying inside).
+  struct NeighborLookup {
+    tree_id_t tree;
+    quad_t quad;
+    std::array<int, 3> tree_step;
+  };
+
+  /// Neighbor of \p q at its own level displaced by (dx,dy,dz) quadrant
+  /// lengths, following brick connectivity across tree faces. Returns
+  /// std::nullopt at a physical boundary.
+  [[nodiscard]] std::optional<NeighborLookup> neighbor_at_offset(
+      tree_id_t t, const quad_t& q, int dx, int dy, int dz) const {
+    CanonicalQuadrant c = to_canonical<R>(q);
+    const std::int64_t h = std::int64_t{1} << (kCanonicalLevel - c.level);
+    const std::int64_t root = std::int64_t{1} << kCanonicalLevel;
+    std::int64_t pos[3] = {c.x + dx * h, c.y + dy * h, c.z + dz * h};
+    std::array<int, 3> tree_step = {0, 0, 0};
+    for (int a = 0; a < dim; ++a) {
+      if (pos[a] < 0) {
+        tree_step[a] = -1;
+        pos[a] += root;
+      } else if (pos[a] >= root) {
+        tree_step[a] = 1;
+        pos[a] -= root;
+      }
+    }
+    tree_id_t nt = t;
+    if (tree_step[0] != 0 || tree_step[1] != 0 || tree_step[2] != 0) {
+      nt = conn_.tree_offset_neighbor(t, tree_step[0], tree_step[1],
+                                      tree_step[2]);
+      if (nt < 0) {
+        return std::nullopt;
+      }
+    }
+    CanonicalQuadrant nc{pos[0], pos[1], pos[2], c.level};
+    return NeighborLookup{nt, from_canonical<R>(nc), tree_step};
+  }
+
+  /// Index of the unique leaf in tree \p t that is an ancestor of or equal
+  /// to \p q, or std::nullopt when the region of \p q is covered by finer
+  /// leaves instead.
+  [[nodiscard]] std::optional<std::size_t> find_enclosing_leaf(
+      tree_id_t t, const quad_t& q) const {
+    const auto& tree = trees_[static_cast<std::size_t>(t)];
+    // First leaf strictly after q: the candidate enclosure sits before it.
+    const auto it =
+        std::upper_bound(tree.begin(), tree.end(), q, RepLess<R>{});
+    if (it == tree.begin()) {
+      return std::nullopt;
+    }
+    const auto idx = static_cast<std::size_t>(it - tree.begin()) - 1;
+    const quad_t& leaf = tree[idx];
+    if (R::equal(leaf, q) || R::is_ancestor(leaf, q)) {
+      return idx;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  explicit Forest(Connectivity conn, int num_ranks)
+      : conn_(std::move(conn)),
+        comm_(num_ranks),
+        trees_(static_cast<std::size_t>(conn_.num_trees())) {
+    rebuild_offsets();
+    partition();
+  }
+
+  /// True when leaves [i, i + 2^d) form a complete sibling family.
+  bool is_family_at(const std::vector<quad_t>& tree, std::size_t i) const {
+    if (i + dims::num_children > tree.size()) {
+      return false;
+    }
+    const quad_t& first = tree[i];
+    if (R::level(first) == 0 || R::child_id(first) != 0) {
+      return false;
+    }
+    const quad_t p = R::parent(first);
+    for (int c = 1; c < dims::num_children; ++c) {
+      const quad_t& sib = tree[i + static_cast<std::size_t>(c)];
+      if (R::level(sib) != R::level(first) || R::child_id(sib) != c ||
+          !R::equal(R::parent(sib), p)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void rebuild_offsets() {
+    tree_offsets_.assign(trees_.size() + 1, 0);
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+      tree_offsets_[t + 1] =
+          tree_offsets_[t] + static_cast<gidx_t>(trees_[t].size());
+    }
+  }
+
+  /// Invoke \p fn for every neighbor offset vector of the balance kind.
+  template <class Fn>
+  static void for_each_neighbor_offset(BalanceKind kind, Fn&& fn) {
+    const int zlo = dim == 3 ? -1 : 0;
+    const int zhi = dim == 3 ? 1 : 0;
+    for (int dz = zlo; dz <= zhi; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int nz = (dx != 0) + (dy != 0) + (dz != 0);
+          if (nz == 0) {
+            continue;
+          }
+          if (kind == BalanceKind::kFace && nz > 1) {
+            continue;
+          }
+          if (kind == BalanceKind::kEdge && nz > 2) {
+            continue;
+          }
+          fn(dx, dy, dz);
+        }
+      }
+    }
+  }
+
+  /// Call \p fn(leaf_index) for every leaf of the neighbor lookup's tree
+  /// whose domain touches the reference quadrant (\p t, \p ref) and lies
+  /// within the same-level neighbor region.
+  template <class Fn>
+  void collect_touching_leaves(const NeighborLookup& nb, tree_id_t t,
+                               const quad_t& ref, Fn&& fn) const {
+    const auto& tree = trees_[static_cast<std::size_t>(nb.tree)];
+    const auto enclosing = find_enclosing_leaf(nb.tree, nb.quad);
+    if (enclosing.has_value()) {
+      fn(*enclosing);
+      return;
+    }
+    // The region of the neighbor is covered by finer leaves: they form a
+    // contiguous run starting at the first leaf >= nb.quad. Translate the
+    // reference into the neighbor tree's coordinate frame so the touch
+    // test works across tree faces too.
+    const auto it =
+        std::lower_bound(tree.begin(), tree.end(), nb.quad, RepLess<R>{});
+    CanonicalQuadrant cref = to_canonical<R>(ref);
+    const std::int64_t root = std::int64_t{1} << kCanonicalLevel;
+    cref.x -= nb.tree_step[0] * root;
+    cref.y -= nb.tree_step[1] * root;
+    cref.z -= nb.tree_step[2] * root;
+    for (auto cur = it; cur != tree.end(); ++cur) {
+      if (!R::is_ancestor(nb.quad, *cur)) {
+        break;
+      }
+      if (nb.tree != t || !R::equal(*cur, ref)) {
+        if (canonical_touch(to_canonical<R>(*cur), cref)) {
+          fn(static_cast<std::size_t>(cur - tree.begin()));
+        }
+      }
+    }
+  }
+
+  /// Whether two canonical domains touch (share at least a point); the
+  /// caller is responsible for expressing both in the same frame.
+  static bool canonical_touch(const CanonicalQuadrant& a,
+                              const CanonicalQuadrant& b) {
+    const std::int64_t ha = std::int64_t{1} << (kCanonicalLevel - a.level);
+    const std::int64_t hb = std::int64_t{1} << (kCanonicalLevel - b.level);
+    const std::int64_t pa[3] = {a.x, a.y, a.z};
+    const std::int64_t pb[3] = {b.x, b.y, b.z};
+    for (int i = 0; i < dim; ++i) {
+      if (pa[i] + ha < pb[i] || pb[i] + hb < pa[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Recursive completeness test of a leaf span against an ancestor.
+  bool is_complete_range(const quad_t& anc, const quad_t* begin,
+                         const quad_t* end) const {
+    if (begin == end) {
+      return false;  // a region left uncovered
+    }
+    if (end - begin == 1 && R::equal(*begin, anc)) {
+      return true;
+    }
+    if (R::level(anc) >= R::max_level) {
+      return false;
+    }
+    const quad_t* pos = begin;
+    for (int c = 0; c < dims::num_children; ++c) {
+      const quad_t ch = R::child(anc, c);
+      const quad_t* stop =
+          std::partition_point(pos, end, [&](const quad_t& leaf) {
+            return R::equal(leaf, ch) || R::is_ancestor(ch, leaf);
+          });
+      if (!is_complete_range(ch, pos, stop)) {
+        return false;
+      }
+      pos = stop;
+    }
+    return pos == end;
+  }
+
+  template <class Fn>
+  bool search_recursion(tree_id_t t, const quad_t& anc, std::size_t begin,
+                        std::size_t end, Fn& cb) const {
+    const auto& tree = trees_[static_cast<std::size_t>(t)];
+    const bool is_leaf =
+        end - begin == 1 && R::equal(tree[begin], anc);
+    if (!cb(t, anc, begin, end, is_leaf) || is_leaf) {
+      return true;
+    }
+    if (R::level(anc) >= R::max_level) {
+      return true;
+    }
+    std::size_t pos = begin;
+    for (int c = 0; c < dims::num_children && pos < end; ++c) {
+      const quad_t ch = R::child(anc, c);
+      const auto stop = static_cast<std::size_t>(
+          std::partition_point(tree.begin() + static_cast<std::ptrdiff_t>(pos),
+                               tree.begin() + static_cast<std::ptrdiff_t>(end),
+                               [&](const quad_t& leaf) {
+                                 return R::equal(leaf, ch) ||
+                                        R::is_ancestor(ch, leaf);
+                               }) -
+          tree.begin());
+      if (stop > pos) {
+        search_recursion(t, ch, pos, stop, cb);
+      }
+      pos = stop;
+    }
+    return true;
+  }
+
+  template <class Fn>
+  void emit_face(tree_id_t t, std::size_t i, const quad_t& q, int f,
+                 Fn& cb) const {
+    FaceInfo<R> info;
+    info.tree[0] = t;
+    info.quad[0] = q;
+    info.leaf_index[0] = i;
+    info.face[0] = f;
+
+    const int axis = f >> 1;
+    const int dirs[3] = {axis == 0 ? ((f & 1) ? 1 : -1) : 0,
+                         axis == 1 ? ((f & 1) ? 1 : -1) : 0,
+                         axis == 2 ? ((f & 1) ? 1 : -1) : 0};
+    const auto nb = neighbor_at_offset(t, q, dirs[0], dirs[1], dirs[2]);
+    if (!nb.has_value()) {
+      info.is_boundary = true;
+      cb(info);
+      return;
+    }
+    const auto enclosing = find_enclosing_leaf(nb->tree, nb->quad);
+    if (!enclosing.has_value()) {
+      // Neighbor region is finer: those leaves emit toward us instead.
+      return;
+    }
+    const auto& ntree = trees_[static_cast<std::size_t>(nb->tree)];
+    const quad_t& leaf = ntree[*enclosing];
+    const int lq = R::level(q);
+    const int ll = R::level(leaf);
+    if (ll == lq) {
+      // Equal-size pair: the globally lower side emits.
+      if (global_index(t, i) > global_index(nb->tree, *enclosing)) {
+        return;
+      }
+    } else if (ll > lq) {
+      return;  // cannot happen for an enclosing leaf
+    } else {
+      info.is_hanging = true;  // we are the finer side
+    }
+    info.tree[1] = nb->tree;
+    info.quad[1] = leaf;
+    info.leaf_index[1] = *enclosing;
+    info.face[1] = f ^ 1;
+    cb(info);
+  }
+
+  Connectivity conn_;
+  par::Communicator comm_;
+  std::vector<std::vector<quad_t>> trees_;
+  bool payload_enabled_ = false;
+  std::vector<std::vector<std::uint64_t>> payloads_;
+  std::vector<gidx_t> tree_offsets_;        ///< size num_trees()+1
+  std::vector<std::int64_t> rank_offsets_;  ///< size num_ranks()+1
+};
+
+}  // namespace qforest

@@ -1,0 +1,24 @@
+/// \file forest_instantiations.cpp
+/// \brief Explicit instantiation of Forest for every shipped
+/// representation x dimension, so template errors surface when the core
+/// library builds rather than in downstream targets.
+
+#include "forest/forest.hpp"
+
+#include "core/quadrant_avx.hpp"
+#include "core/quadrant_morton.hpp"
+#include "core/quadrant_std.hpp"
+#include "core/quadrant_wide.hpp"
+
+namespace qforest {
+
+template class Forest<StandardRep<2>>;
+template class Forest<StandardRep<3>>;
+template class Forest<MortonRep<2>>;
+template class Forest<MortonRep<3>>;
+template class Forest<AvxRep<2>>;
+template class Forest<AvxRep<3>>;
+template class Forest<WideMortonRep<2>>;
+template class Forest<WideMortonRep<3>>;
+
+}  // namespace qforest

@@ -1,0 +1,208 @@
+#pragma once
+/// \file io.hpp
+/// \brief Forest serialization and representation-independent checksums
+/// (the p4est_save / p4est_load / p4est_checksum trio).
+///
+/// The on-disk format encodes quadrants in *canonical* form (canonical.hpp),
+/// which makes it independent of the in-memory representation: a forest
+/// saved from MortonRep can be loaded into StandardRep bit-exactly. The
+/// checksum hashes the same canonical stream, so equal meshes hash equally
+/// regardless of encoding — the property regression suites rely on.
+///
+/// Format (little-endian):
+///   magic   "QFOR"            4 bytes
+///   version u32               currently 1
+///   dim     u32
+///   brick   extent[3] u32, periodic[3] u8, pad u8
+///   ranks   u32
+///   trees   u32 K
+///   per tree: count u64, then count * (x i64, y i64, z i64, level u8)
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "core/canonical.hpp"
+#include "forest/forest.hpp"
+
+namespace qforest {
+
+namespace io_detail {
+
+inline constexpr char kMagic[4] = {'Q', 'F', 'O', 'R'};
+inline constexpr std::uint32_t kVersion = 1;
+
+template <class T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <class T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) {
+    throw std::runtime_error("qforest::load_forest: truncated stream");
+  }
+  return v;
+}
+
+/// FNV-1a, 64-bit; simple, stable, good avalanche for regression hashes.
+class Fnv1a {
+ public:
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001B3ull;
+    }
+  }
+
+  template <class T>
+  void update_pod(const T& v) {
+    update(&v, sizeof v);
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+}  // namespace io_detail
+
+/// Serialize a forest; see the format comment above.
+template <class R>
+void save_forest(std::ostream& out, const Forest<R>& forest) {
+  using namespace io_detail;
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(R::dim));
+  const Connectivity& conn = forest.connectivity();
+  for (int a = 0; a < 3; ++a) {
+    write_pod(out, static_cast<std::uint32_t>(conn.extent(a)));
+  }
+  for (int a = 0; a < 3; ++a) {
+    write_pod(out, static_cast<std::uint8_t>(conn.periodic(a) ? 1 : 0));
+  }
+  write_pod(out, std::uint8_t{0});
+  write_pod(out, static_cast<std::uint32_t>(forest.num_ranks()));
+  write_pod(out, static_cast<std::uint32_t>(forest.num_trees()));
+  for (tree_id_t t = 0; t < forest.num_trees(); ++t) {
+    const auto& leaves = forest.tree_quadrants(t);
+    write_pod(out, static_cast<std::uint64_t>(leaves.size()));
+    for (const auto& q : leaves) {
+      const CanonicalQuadrant c = to_canonical<R>(q);
+      write_pod(out, c.x);
+      write_pod(out, c.y);
+      write_pod(out, c.z);
+      write_pod(out, static_cast<std::uint8_t>(c.level));
+    }
+  }
+  if (!out) {
+    throw std::runtime_error("qforest::save_forest: write failure");
+  }
+}
+
+/// Deserialize into representation \p R (not necessarily the one that
+/// saved the stream). Throws std::runtime_error on malformed input and
+/// std::invalid_argument when the stream's levels exceed R::max_level.
+template <class R>
+Forest<R> load_forest(std::istream& in) {
+  using namespace io_detail;
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("qforest::load_forest: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("qforest::load_forest: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto dim = read_pod<std::uint32_t>(in);
+  if (static_cast<int>(dim) != R::dim) {
+    throw std::runtime_error("qforest::load_forest: dimension mismatch");
+  }
+  std::uint32_t extent[3];
+  for (auto& e : extent) {
+    e = read_pod<std::uint32_t>(in);
+  }
+  bool periodic[3];
+  for (auto& p : periodic) {
+    p = read_pod<std::uint8_t>(in) != 0;
+  }
+  (void)read_pod<std::uint8_t>(in);  // pad
+  const auto ranks = read_pod<std::uint32_t>(in);
+  const auto num_trees = read_pod<std::uint32_t>(in);
+
+  Connectivity conn =
+      R::dim == 2
+          ? Connectivity::brick2d(static_cast<int>(extent[0]),
+                                  static_cast<int>(extent[1]), periodic[0],
+                                  periodic[1])
+          : Connectivity::brick3d(static_cast<int>(extent[0]),
+                                  static_cast<int>(extent[1]),
+                                  static_cast<int>(extent[2]), periodic[0],
+                                  periodic[1], periodic[2]);
+  if (static_cast<std::uint32_t>(conn.num_trees()) != num_trees) {
+    throw std::runtime_error("qforest::load_forest: tree count mismatch");
+  }
+
+  Forest<R> forest =
+      Forest<R>::new_root(conn, static_cast<int>(ranks));
+  // Rebuild each tree's leaf array from the canonical stream.
+  std::vector<std::vector<typename R::quad_t>> trees(num_trees);
+  for (std::uint32_t t = 0; t < num_trees; ++t) {
+    const auto count = read_pod<std::uint64_t>(in);
+    auto& tree = trees[t];
+    tree.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      CanonicalQuadrant c;
+      c.x = read_pod<std::int64_t>(in);
+      c.y = read_pod<std::int64_t>(in);
+      c.z = read_pod<std::int64_t>(in);
+      c.level = read_pod<std::uint8_t>(in);
+      if (c.level > R::max_level) {
+        throw std::invalid_argument(
+            "qforest::load_forest: level exceeds representation limit");
+      }
+      tree.push_back(from_canonical<R>(c));
+    }
+  }
+  forest.replace_leaves(std::move(trees));
+  if (!forest.is_valid()) {
+    throw std::runtime_error("qforest::load_forest: stream does not encode "
+                             "a valid forest");
+  }
+  return forest;
+}
+
+/// Representation-independent structural checksum: hashes dimension,
+/// connectivity and every leaf in canonical form. Equal meshes give equal
+/// checksums no matter the encoding (see tests/test_io.cpp).
+template <class R>
+std::uint64_t forest_checksum(const Forest<R>& forest) {
+  io_detail::Fnv1a h;
+  h.update_pod(static_cast<std::uint32_t>(R::dim));
+  const Connectivity& conn = forest.connectivity();
+  for (int a = 0; a < 3; ++a) {
+    h.update_pod(static_cast<std::uint32_t>(conn.extent(a)));
+    h.update_pod(static_cast<std::uint8_t>(conn.periodic(a) ? 1 : 0));
+  }
+  for (tree_id_t t = 0; t < forest.num_trees(); ++t) {
+    for (const auto& q : forest.tree_quadrants(t)) {
+      const CanonicalQuadrant c = to_canonical<R>(q);
+      h.update_pod(c.x);
+      h.update_pod(c.y);
+      h.update_pod(c.z);
+      h.update_pod(static_cast<std::uint8_t>(c.level));
+    }
+  }
+  return h.digest();
+}
+
+}  // namespace qforest

@@ -1,0 +1,232 @@
+#pragma once
+/// \file nodes.hpp
+/// \brief Global corner-node numbering for continuous elements
+/// (a p4est_lnodes-style interface, lowest order).
+///
+/// p4est "provides node numberings for low- and high-order continuous
+/// elements" (paper §1). This module numbers the corner nodes of a
+/// 2:1-balanced forest: every geometric corner point of every leaf gets
+/// one global id; points that lie on the open face (or edge, in 3D) of a
+/// coarser neighbor are *hanging* — they are not independent degrees of
+/// freedom but interpolated from the coarse face's corner nodes.
+///
+/// Works in canonical coordinates, so the numbering is identical for
+/// every quadrant representation (tested in test_nodes.cpp).
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/canonical.hpp"
+#include "forest/forest.hpp"
+
+namespace qforest {
+
+/// Result of number_corner_nodes().
+struct NodeNumbering {
+  /// Canonical coordinates (2^kCanonicalLevel grid) of each node; index
+  /// in this vector is the node's global id.
+  std::vector<std::array<std::int64_t, 3>> coordinates;
+
+  /// True when the node lies on the open face/edge of a coarser leaf and
+  /// is therefore constrained rather than independent.
+  std::vector<bool> hanging;
+
+  /// Per leaf (global leaf order), the node id at each of its 2^d
+  /// corners in z-order.
+  std::vector<std::array<std::int64_t, 8>> element_nodes;
+
+  /// Number of independent (non-hanging) nodes.
+  [[nodiscard]] std::int64_t num_independent() const {
+    std::int64_t n = 0;
+    for (const bool h : hanging) {
+      n += h ? 0 : 1;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(coordinates.size());
+  }
+};
+
+/// Number the corner nodes of a face-balanced forest. Periodic and
+/// multi-tree connectivities are supported: nodes on shared tree faces
+/// are identified via the brick's global coordinate system.
+///
+/// Precondition: the forest is 2:1 face-balanced (checked by assert-level
+/// logic in the hanging classification; unbalanced input yields an
+/// exception).
+template <class R>
+NodeNumbering number_corner_nodes(const Forest<R>& forest) {
+  constexpr int dim = R::dim;
+  constexpr int num_corners = DimConstants<dim>::num_corners;
+  const Connectivity& conn = forest.connectivity();
+  const std::int64_t root = std::int64_t{1} << kCanonicalLevel;
+
+  NodeNumbering out;
+  out.element_nodes.assign(
+      static_cast<std::size_t>(forest.num_quadrants()), {});
+
+  // Global node key: brick coordinates folded into one point per axis,
+  // with periodic wrap so opposite faces share nodes.
+  using Key = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+  std::map<Key, std::int64_t> node_ids;
+
+  auto key_of = [&](tree_id_t t, std::int64_t cx, std::int64_t cy,
+                    std::int64_t cz) {
+    const auto tc = conn.tree_coords(t);
+    std::int64_t g[3] = {cx + tc[0] * root, cy + tc[1] * root,
+                         cz + tc[2] * root};
+    for (int a = 0; a < dim; ++a) {
+      const std::int64_t span = conn.extent(a) * root;
+      if (conn.periodic(a)) {
+        g[a] = ((g[a] % span) + span) % span;
+      }
+    }
+    return Key{g[0], g[1], g[2]};
+  };
+
+  // Pass 1: assign ids to every distinct corner point.
+  for (tree_id_t t = 0; t < forest.num_trees(); ++t) {
+    const auto& leaves = forest.tree_quadrants(t);
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const CanonicalQuadrant c = to_canonical<R>(leaves[i]);
+      const std::int64_t h = std::int64_t{1} << (kCanonicalLevel - c.level);
+      auto& elem =
+          out.element_nodes[static_cast<std::size_t>(
+              forest.global_index(t, i))];
+      for (int corner = 0; corner < num_corners; ++corner) {
+        const std::int64_t px = c.x + ((corner & 1) ? h : 0);
+        const std::int64_t py = c.y + ((corner & 2) ? h : 0);
+        const std::int64_t pz =
+            dim == 3 ? c.z + ((corner & 4) ? h : 0) : 0;
+        const Key key = key_of(t, px, py, pz);
+        auto [it, inserted] =
+            node_ids.try_emplace(key, static_cast<std::int64_t>(
+                                          out.coordinates.size()));
+        if (inserted) {
+          out.coordinates.push_back(
+              {std::get<0>(key), std::get<1>(key), std::get<2>(key)});
+        }
+        elem[static_cast<std::size_t>(corner)] = it->second;
+      }
+    }
+  }
+  out.hanging.assign(out.coordinates.size(), false);
+
+  // Pass 2: classify hanging nodes. A fine leaf's corner on the face
+  // shared with a coarser neighbor is hanging unless it coincides with a
+  // corner of that coarse face.
+  for (tree_id_t t = 0; t < forest.num_trees(); ++t) {
+    const auto& leaves = forest.tree_quadrants(t);
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const auto& q = leaves[i];
+      const CanonicalQuadrant c = to_canonical<R>(q);
+      const std::int64_t h = std::int64_t{1} << (kCanonicalLevel - c.level);
+      for (int f = 0; f < DimConstants<dim>::num_faces; ++f) {
+        const int axis = f >> 1;
+        const int dirs[3] = {axis == 0 ? ((f & 1) ? 1 : -1) : 0,
+                             axis == 1 ? ((f & 1) ? 1 : -1) : 0,
+                             axis == 2 ? ((f & 1) ? 1 : -1) : 0};
+        const auto nb =
+            forest.neighbor_at_offset(t, q, dirs[0], dirs[1], dirs[2]);
+        if (!nb.has_value()) {
+          continue;  // physical boundary
+        }
+        const auto enclosing = forest.find_enclosing_leaf(nb->tree, nb->quad);
+        if (!enclosing.has_value()) {
+          continue;  // neighbor side is finer; handled from there
+        }
+        const auto& nleaf =
+            forest.tree_quadrants(nb->tree)[*enclosing];
+        const int nlvl = R::level(nleaf);
+        if (nlvl >= c.level) {
+          continue;  // conforming face
+        }
+        if (nlvl < c.level - 1) {
+          throw std::invalid_argument(
+              "number_corner_nodes: forest is not 2:1 face-balanced");
+        }
+        // Our corners on this face: those with the face's axis bit set
+        // to the face side. They are hanging iff they are not also
+        // corners of the coarse neighbor face, i.e. iff any in-face
+        // coordinate is not a multiple of the coarse length 2h.
+        for (int corner = 0; corner < num_corners; ++corner) {
+          if (((corner >> axis) & 1) != (f & 1)) {
+            continue;  // corner not on this face
+          }
+          const std::int64_t p[3] = {
+              c.x + ((corner & 1) ? h : 0), c.y + ((corner & 2) ? h : 0),
+              dim == 3 ? c.z + ((corner & 4) ? h : 0) : 0};
+          bool on_coarse_grid = true;
+          for (int a = 0; a < dim; ++a) {
+            if (a == axis) {
+              continue;
+            }
+            if (p[a] % (2 * h) != 0) {
+              on_coarse_grid = false;
+            }
+          }
+          if (!on_coarse_grid) {
+            const Key key = key_of(t, p[0], p[1], p[2]);
+            out.hanging[static_cast<std::size_t>(node_ids.at(key))] = true;
+          }
+        }
+      }
+
+      // 3D: edge-hanging nodes. A corner on the shared edge with a
+      // coarser edge-neighbor is hanging when it sits at the coarse
+      // edge's midpoint (not on the 2h grid along the edge direction).
+      if constexpr (dim == 3) {
+        for (int a1 = 0; a1 < 3; ++a1) {
+          for (int a2 = a1 + 1; a2 < 3; ++a2) {
+            const int free_axis = 3 - a1 - a2;
+            for (int s1 = -1; s1 <= 1; s1 += 2) {
+              for (int s2 = -1; s2 <= 1; s2 += 2) {
+                int d[3] = {0, 0, 0};
+                d[a1] = s1;
+                d[a2] = s2;
+                const auto nb =
+                    forest.neighbor_at_offset(t, q, d[0], d[1], d[2]);
+                if (!nb.has_value()) {
+                  continue;
+                }
+                const auto enclosing =
+                    forest.find_enclosing_leaf(nb->tree, nb->quad);
+                if (!enclosing.has_value()) {
+                  continue;
+                }
+                const int nlvl = R::level(
+                    forest.tree_quadrants(nb->tree)[*enclosing]);
+                if (nlvl != c.level - 1) {
+                  continue;
+                }
+                for (int corner = 0; corner < num_corners; ++corner) {
+                  if (((corner >> a1) & 1) != (s1 > 0 ? 1 : 0) ||
+                      ((corner >> a2) & 1) != (s2 > 0 ? 1 : 0)) {
+                    continue;  // corner not on this edge
+                  }
+                  const std::int64_t p[3] = {
+                      c.x + ((corner & 1) ? h : 0),
+                      c.y + ((corner & 2) ? h : 0),
+                      c.z + ((corner & 4) ? h : 0)};
+                  if (p[free_axis] % (2 * h) != 0) {
+                    const Key key = key_of(t, p[0], p[1], p[2]);
+                    out.hanging[static_cast<std::size_t>(
+                        node_ids.at(key))] = true;
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace qforest

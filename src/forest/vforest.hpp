@@ -1,0 +1,106 @@
+#pragma once
+/// \file vforest.hpp
+/// \brief VForest: high-level AMR algorithms over the *runtime* virtual
+/// quadrant interface.
+///
+/// The paper's conclusion describes "a new branch of high-level algorithms
+/// that operate on virtualized quadrants" so the representation becomes a
+/// run-time choice (configuration file, CLI flag) instead of a template
+/// parameter. VForest is that branch: a non-template forest working purely
+/// through VirtualQuadrantOps. It trades per-operation virtual dispatch
+/// (quantified by bench_virtual) for a single compiled instantiation.
+///
+/// The supported algorithm subset mirrors Forest<R>: uniform creation,
+/// refine, coarsen, 2:1 balance via the same neighborhood logic, search,
+/// and validity checking; test_vforest.cpp verifies it produces meshes
+/// canonically identical to the template forest.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/virtual_ops.hpp"
+#include "forest/connectivity.hpp"
+
+namespace qforest {
+
+/// Forest of octrees with a run-time-selected quadrant representation.
+class VForest {
+ public:
+  using refine_fn = std::function<bool(tree_id_t, const VQuad&)>;
+  using coarsen_fn = std::function<bool(tree_id_t, const VQuad*)>;
+  /// search callback: (tree, ancestor, first, last, is_leaf) -> descend?
+  using search_fn = std::function<bool(tree_id_t, const VQuad&, std::size_t,
+                                       std::size_t, bool)>;
+
+  /// Uniformly refined forest with representation \p kind.
+  static VForest new_uniform(RepKind kind, Connectivity conn, int level);
+
+  /// Root-only forest.
+  static VForest new_root(RepKind kind, Connectivity conn) {
+    return new_uniform(kind, std::move(conn), 0);
+  }
+
+  [[nodiscard]] const VirtualQuadrantOps& ops() const { return *ops_; }
+  [[nodiscard]] RepKind kind() const { return kind_; }
+  [[nodiscard]] const Connectivity& connectivity() const { return conn_; }
+  [[nodiscard]] tree_id_t num_trees() const {
+    return static_cast<tree_id_t>(trees_.size());
+  }
+  [[nodiscard]] std::int64_t num_quadrants() const;
+  [[nodiscard]] const std::vector<VQuad>& tree_quadrants(tree_id_t t) const {
+    return trees_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] int max_level_used() const;
+
+  /// p4est-style refinement; recursive re-examines children.
+  void refine(bool recursive, const refine_fn& should_refine);
+
+  /// Replace accepted complete families by their parent.
+  void coarsen(bool recursive, const coarsen_fn& should_coarsen);
+
+  /// Enforce the 2:1 condition across faces/edges/corners.
+  void balance();
+
+  /// Check the 2:1 condition.
+  [[nodiscard]] bool is_balanced() const;
+
+  /// Top-down traversal with pruning.
+  void search(const search_fn& cb) const;
+
+  /// Structural validation (sortedness, no overlap, completeness).
+  [[nodiscard]] bool is_valid() const;
+
+ private:
+  VForest(RepKind kind, Connectivity conn);
+
+  [[nodiscard]] bool leaf_less(const VQuad& a, const VQuad& b) const {
+    return ops_->less(a, b);
+  }
+
+  /// Same-level neighbor displaced by (dx,dy,dz); nullopt at the domain
+  /// boundary. Implemented via the exact canonical form, so it is valid
+  /// for every representation at every level.
+  [[nodiscard]] std::optional<std::pair<tree_id_t, VQuad>> neighbor_at(
+      tree_id_t t, const VQuad& q, int dx, int dy, int dz) const;
+
+  [[nodiscard]] std::optional<std::size_t> enclosing_leaf(
+      tree_id_t t, const VQuad& q) const;
+
+  bool is_family_at(const std::vector<VQuad>& tree, std::size_t i) const;
+
+  bool complete_range(const VQuad& anc, const VQuad* begin,
+                      const VQuad* end) const;
+
+  void search_recursion(tree_id_t t, const VQuad& anc, std::size_t begin,
+                        std::size_t end, const search_fn& cb) const;
+
+  RepKind kind_;
+  const VirtualQuadrantOps* ops_;
+  Connectivity conn_;
+  std::vector<std::vector<VQuad>> trees_;
+};
+
+}  // namespace qforest

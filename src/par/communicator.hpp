@@ -1,0 +1,52 @@
+#pragma once
+/// \file communicator.hpp
+/// \brief Simulated MPI communicator (substitution substrate, DESIGN.md §4).
+///
+/// The paper benchmarks on up to 512 MPI cores. This container has no MPI;
+/// we reproduce the *semantics* the AMR algorithms rely on — rank counts,
+/// contiguous rank ranges over the global quadrant sequence, prefix sums,
+/// allgather — with deterministic in-process execution. The forest's
+/// partition and ghost algorithms exercise exactly the same offset and
+/// ownership logic they would drive through MPI collectives.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace qforest::par {
+
+/// A communicator of \p size simulated ranks.
+class Communicator {
+ public:
+  explicit Communicator(int size = 1);
+
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Exclusive prefix sum over one value per rank (MPI_Exscan + final sum):
+  /// result has size()+1 entries, result[r] = sum of values[0..r).
+  [[nodiscard]] std::vector<std::int64_t> exscan(
+      const std::vector<std::int64_t>& values) const;
+
+  /// Allgather is the identity in shared memory; provided for symmetry so
+  /// algorithm code reads like its MPI counterpart.
+  template <class T>
+  [[nodiscard]] const std::vector<T>& allgather(
+      const std::vector<T>& values) const {
+    return values;
+  }
+
+  /// Split \p n items into size() contiguous chunks as evenly as possible
+  /// (the classical block distribution). Returns size()+1 offsets.
+  [[nodiscard]] std::vector<std::int64_t> block_distribution(
+      std::int64_t n) const;
+
+  /// Rank owning global index \p g under offsets from block_distribution /
+  /// weighted partitioning: the unique r with offsets[r] <= g < offsets[r+1].
+  static int owner_of(const std::vector<std::int64_t>& offsets,
+                      std::int64_t g);
+
+ private:
+  int size_;
+};
+
+}  // namespace qforest::par

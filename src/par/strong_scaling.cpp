@@ -1,0 +1,13 @@
+#include "par/strong_scaling.hpp"
+
+namespace qforest::par {
+
+std::vector<int> paper_task_counts(int max_tasks) {
+  std::vector<int> counts;
+  for (int t = 2; t <= max_tasks; t *= 2) {
+    counts.push_back(t);
+  }
+  return counts;
+}
+
+}  // namespace qforest::par

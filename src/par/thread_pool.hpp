@@ -1,0 +1,57 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Small fixed-size worker pool for data-parallel loops.
+///
+/// Used by the examples and by the strong-scaling driver when the machine
+/// offers more than one hardware thread; all benchmark *measurements* use
+/// serial per-task timing (see strong_scaling.hpp) so results do not depend
+/// on the container's core count.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qforest::par {
+
+/// Fixed-size thread pool with a blocking wait for quiescence.
+class ThreadPool {
+ public:
+  /// Create \p threads workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Number of worker threads.
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Run fn(i) for i in [0, n) split into roughly size() blocks and wait.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace qforest::par

@@ -1,0 +1,49 @@
+#include "simd/feature_detect.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace qforest::simd {
+
+namespace {
+CpuFeatures detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.sse2 = (edx >> 26) & 1u;
+    f.sse41 = (ecx >> 19) & 1u;
+    f.avx = (ecx >> 28) & 1u;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx >> 5) & 1u;
+    f.bmi2 = (ebx >> 8) & 1u;
+  }
+#endif
+  return f;
+}
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+std::string feature_string() {
+  const CpuFeatures& f = cpu_features();
+  std::string s;
+  if (f.sse2) s += "sse2 ";
+  if (f.sse41) s += "sse4.1 ";
+  if (f.avx) s += "avx ";
+  if (f.avx2) s += "avx2 ";
+  if (f.bmi2) s += "bmi2 ";
+  if (!s.empty()) s.pop_back();
+  return s;
+}
+
+bool avx2_usable() { return QFOREST_HAVE_AVX2 != 0 && cpu_features().avx2; }
+
+bool bmi2_usable() { return QFOREST_HAVE_BMI2 != 0 && cpu_features().bmi2; }
+
+}  // namespace qforest::simd

@@ -1,0 +1,55 @@
+#pragma once
+/// \file feature_detect.hpp
+/// \brief Compile-time and runtime CPU feature detection for the SIMD paths.
+///
+/// The AVX quadrant representation compiles to intrinsics only when the
+/// translation unit is built with -mavx2; otherwise a semantically identical
+/// scalar fallback is used so the full test suite runs on any hardware.
+/// Runtime detection (cpuid) is reported by the benchmarks so a reader of
+/// bench_output.txt knows which path was measured.
+
+#include <string>
+
+// Compile-time capability of this build.
+#if defined(__AVX2__)
+#define QFOREST_HAVE_AVX2 1
+#else
+#define QFOREST_HAVE_AVX2 0
+#endif
+
+#if defined(__SSE2__) || defined(__x86_64__)
+#define QFOREST_HAVE_SSE2 1
+#else
+#define QFOREST_HAVE_SSE2 0
+#endif
+
+#if defined(__BMI2__)
+#define QFOREST_HAVE_BMI2 1
+#else
+#define QFOREST_HAVE_BMI2 0
+#endif
+
+namespace qforest::simd {
+
+/// Features the executing CPU advertises via cpuid.
+struct CpuFeatures {
+  bool sse2 = false;
+  bool sse41 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool bmi2 = false;
+};
+
+/// Query cpuid once and cache the result.
+const CpuFeatures& cpu_features();
+
+/// Human-readable summary, e.g. "sse2 sse4.1 avx avx2 bmi2".
+std::string feature_string();
+
+/// True when both this build and the CPU support AVX2.
+bool avx2_usable();
+
+/// True when both this build and the CPU support BMI2 pdep/pext.
+bool bmi2_usable();
+
+}  // namespace qforest::simd

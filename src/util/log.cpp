@@ -1,0 +1,77 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <mutex>
+
+namespace qforest {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<std::FILE*> g_stream{nullptr};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kProduction: return "PROD ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+
+void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::FILE* stream = g_stream.load(std::memory_order_relaxed);
+  if (stream == nullptr) {
+    stream = stderr;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stream, "[qforest %s] ", level_tag(level));
+  std::vfprintf(stream, fmt, args);
+  std::fputc('\n', stream);
+  std::fflush(stream);
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_stream(std::FILE* stream) {
+  g_stream.store(stream, std::memory_order_relaxed);
+}
+
+void log(LogLevel level, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  vlog(level, fmt, args);
+  va_end(args);
+}
+
+#define QFOREST_DEFINE_LOG_FN(name, level)      \
+  void name(const char* fmt, ...) {             \
+    std::va_list args;                          \
+    va_start(args, fmt);                        \
+    vlog(level, fmt, args);                     \
+    va_end(args);                               \
+  }
+
+QFOREST_DEFINE_LOG_FN(log_trace, LogLevel::kTrace)
+QFOREST_DEFINE_LOG_FN(log_debug, LogLevel::kDebug)
+QFOREST_DEFINE_LOG_FN(log_info, LogLevel::kInfo)
+QFOREST_DEFINE_LOG_FN(log_prod, LogLevel::kProduction)
+QFOREST_DEFINE_LOG_FN(log_error, LogLevel::kError)
+
+#undef QFOREST_DEFINE_LOG_FN
+
+}  // namespace qforest

@@ -1,0 +1,49 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logger for the qforest library.
+///
+/// Mirrors the SC_LP_* log priorities of the sc library that underlies
+/// p4est: a process-global threshold filters messages, and all output is
+/// line-buffered to a single stream so interleaving from simulated ranks
+/// stays readable.
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace qforest {
+
+/// Log priority levels, lowest is most verbose.
+enum class LogLevel : int {
+  kTrace = 0,   ///< per-quadrant chatter, disabled in benchmarks
+  kDebug = 1,   ///< per-algorithm internal state
+  kInfo = 2,    ///< one-line progress per high-level call
+  kProduction = 3,  ///< results and summaries
+  kError = 4,   ///< unrecoverable problems
+  kSilent = 5   ///< suppress everything
+};
+
+/// Set the process-global log threshold. Messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Current process-global log threshold.
+LogLevel log_level();
+
+/// printf-style logging at an explicit level.
+void log(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+/// Convenience wrappers.
+void log_trace(const char* fmt, ...);
+void log_debug(const char* fmt, ...);
+void log_info(const char* fmt, ...);
+void log_prod(const char* fmt, ...);
+void log_error(const char* fmt, ...);
+
+/// Redirect log output (default: stderr). Pass nullptr to restore stderr.
+void set_log_stream(std::FILE* stream);
+
+}  // namespace qforest

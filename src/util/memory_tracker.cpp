@@ -1,0 +1,32 @@
+#include "util/memory_tracker.hpp"
+
+namespace qforest {
+
+std::atomic<std::size_t> MemoryTracker::current_{0};
+std::atomic<std::size_t> MemoryTracker::peak_{0};
+std::atomic<std::size_t> MemoryTracker::total_{0};
+std::atomic<std::size_t> MemoryTracker::count_{0};
+
+void MemoryTracker::reset() {
+  current_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+void MemoryTracker::on_allocate(std::size_t bytes) {
+  total_.fetch_add(bytes, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t now =
+      current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::size_t prev = peak_.load(std::memory_order_relaxed);
+  while (now > prev &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryTracker::on_deallocate(std::size_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace qforest

@@ -1,0 +1,43 @@
+#pragma once
+/// \file random.hpp
+/// \brief Deterministic fast RNG (xoshiro256**) for workload generation.
+///
+/// All synthetic workloads in tests and benchmarks derive from this engine
+/// with fixed seeds, so runs are reproducible bit-for-bit.
+
+#include <cstdint>
+
+namespace qforest {
+
+/// xoshiro256** by Blackman & Vigna; fast, high-quality, 256-bit state.
+class Xoshiro256 {
+ public:
+  /// Seed via splitmix64 expansion of a single 64-bit value.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with probability \p p.
+  bool next_bool(double p = 0.5);
+
+  // UniformRandomBitGenerator interface for <algorithm> shuffles.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace qforest

@@ -1,0 +1,31 @@
+#include "util/timer.hpp"
+
+#include <ctime>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace qforest {
+
+namespace {
+double clock_gettime_s(clockid_t id) {
+  timespec ts{};
+  ::clock_gettime(id, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         1.0e-9 * static_cast<double>(ts.tv_nsec);
+}
+}  // namespace
+
+double thread_cpu_time_s() { return clock_gettime_s(CLOCK_THREAD_CPUTIME_ID); }
+
+double process_cpu_time_s() {
+  return clock_gettime_s(CLOCK_PROCESS_CPUTIME_ID);
+}
+
+ScopedTimer::ScopedTimer(std::string label) : label_(std::move(label)) {}
+
+ScopedTimer::~ScopedTimer() {
+  log_debug("%s: %.6f s", label_.c_str(), timer_.elapsed_s());
+}
+
+}  // namespace qforest

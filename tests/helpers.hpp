@@ -1,0 +1,76 @@
+#pragma once
+/// \file helpers.hpp
+/// \brief Shared test utilities: random quadrant generation, the list of
+/// representation types under test, and canonical-form matchers.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/canonical.hpp"
+#include "core/quadrant_avx.hpp"
+#include "core/quadrant_morton.hpp"
+#include "core/quadrant_std.hpp"
+#include "core/quadrant_wide.hpp"
+#include "core/rep_traits.hpp"
+#include "util/random.hpp"
+
+namespace qforest::test {
+
+/// Deepest level at which the 64-bit level-relative Morton index of the
+/// representation stays within 63 bits (morton_quadrant precondition).
+template <class R>
+constexpr int max_index_level() {
+  return std::min(R::max_level, 63 / R::dim - (63 % R::dim == 0 ? 1 : 0));
+}
+
+/// Uniformly random quadrant: random level in [0, cap], random position.
+template <class R>
+typename R::quad_t random_quadrant(Xoshiro256& rng, int max_level_cap = -1) {
+  int cap = max_index_level<R>();
+  if (max_level_cap >= 0) {
+    cap = std::min(cap, max_level_cap);
+  }
+  const int lvl = static_cast<int>(rng.next_below(
+      static_cast<std::uint64_t>(cap) + 1));
+  const morton_t il =
+      rng.next_below(std::uint64_t{1} << (R::dim * lvl));
+  return R::morton_quadrant(il, lvl);
+}
+
+/// Random quadrant at exactly \p lvl.
+template <class R>
+typename R::quad_t random_quadrant_at(Xoshiro256& rng, int lvl) {
+  const morton_t il =
+      rng.next_below(std::uint64_t{1} << (R::dim * lvl));
+  return R::morton_quadrant(il, lvl);
+}
+
+/// gtest assertion: two quadrants of possibly different representations
+/// denote the same mesh primitive.
+template <class RA, class RB>
+::testing::AssertionResult canonically_equal(const typename RA::quad_t& a,
+                                             const typename RB::quad_t& b) {
+  const CanonicalQuadrant ca = to_canonical<RA>(a);
+  const CanonicalQuadrant cb = to_canonical<RB>(b);
+  if (ca == cb) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << RA::name << "(" << ca.x << "," << ca.y << "," << ca.z << ",l"
+         << ca.level << ") vs " << RB::name << "(" << cb.x << "," << cb.y
+         << "," << cb.z << ",l" << cb.level << ")";
+}
+
+/// All shipped representations, used by TYPED_TEST suites.
+using Reps2D = ::testing::Types<StandardRep<2>, MortonRep<2>, AvxRep<2>,
+                                WideMortonRep<2>>;
+using Reps3D = ::testing::Types<StandardRep<3>, MortonRep<3>, AvxRep<3>,
+                                WideMortonRep<3>>;
+using AllReps =
+    ::testing::Types<StandardRep<2>, MortonRep<2>, AvxRep<2>,
+                     WideMortonRep<2>, StandardRep<3>, MortonRep<3>,
+                     AvxRep<3>, WideMortonRep<3>>;
+
+}  // namespace qforest::test

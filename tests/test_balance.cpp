@@ -1,0 +1,170 @@
+/// \file test_balance.cpp
+/// \brief 2:1 balance: enforcement, idempotence, minimality-ish bounds,
+/// cross-tree propagation, and the is_balanced checker.
+
+#include <gtest/gtest.h>
+
+#include "forest/forest.hpp"
+#include "helpers.hpp"
+
+namespace qforest {
+namespace {
+
+template <class R>
+class BalanceT : public ::testing::Test {};
+
+using BalanceReps = ::testing::Types<StandardRep<2>, MortonRep<2>,
+                                     StandardRep<3>, MortonRep<3>, AvxRep<3>>;
+TYPED_TEST_SUITE(BalanceT, BalanceReps);
+
+TYPED_TEST(BalanceT, PointRefinementGetsGraded) {
+  using R = TypeParam;
+  auto f = Forest<R>::new_root(Connectivity::unit(R::dim));
+  // Refine the chain of cells touching the domain center from below:
+  // the deep cells abut the coarse half-domain cells across the center
+  // plane, the classic case that forces a graded ripple.
+  const int depth = 6;
+  f.refine(true, [&](tree_id_t, const typename R::quad_t& q) {
+    // Chain of cells containing the point just below the domain center:
+    // level 1 takes child 0, every later level the all-ones child, so the
+    // deep cells abut root's other level-1 children across the center.
+    const int l = R::level(q);
+    const morton_t chain =
+        l == 0 ? 0 : (morton_t{1} << (R::dim * (l - 1))) - 1;
+    return l < depth && R::level_index(q) == chain;
+  });
+  EXPECT_FALSE(f.is_balanced(BalanceKind::kFull));
+  f.balance(BalanceKind::kFull);
+  EXPECT_TRUE(f.is_valid());
+  EXPECT_TRUE(f.is_balanced(BalanceKind::kFull));
+  EXPECT_EQ(f.max_level_used(), depth);  // balance never coarsens
+}
+
+TYPED_TEST(BalanceT, BalanceIsIdempotent) {
+  using R = TypeParam;
+  auto f = Forest<R>::new_root(Connectivity::unit(R::dim));
+  f.refine(true, [&](tree_id_t, const typename R::quad_t& q) {
+    const int l = R::level(q);
+    const morton_t chain =
+        l == 0 ? 0 : (morton_t{1} << (R::dim * (l - 1))) - 1;
+    return l < 5 && R::level_index(q) == chain;
+  });
+  f.balance(BalanceKind::kFull);
+  const gidx_t after_first = f.num_quadrants();
+  f.balance(BalanceKind::kFull);
+  EXPECT_EQ(f.num_quadrants(), after_first);
+}
+
+TYPED_TEST(BalanceT, FaceBalanceWeakerThanFull) {
+  using R = TypeParam;
+  auto make = [] {
+    auto f = Forest<R>::new_root(Connectivity::unit(R::dim));
+    f.refine(true, [&](tree_id_t, const typename R::quad_t& q) {
+      const int l = R::level(q);
+      const morton_t chain =
+          l == 0 ? 0 : (morton_t{1} << (R::dim * (l - 1))) - 1;
+      return l < 5 && R::level_index(q) == chain;
+    });
+    return f;
+  };
+  auto face = make();
+  face.balance(BalanceKind::kFace);
+  auto full = make();
+  full.balance(BalanceKind::kFull);
+  EXPECT_TRUE(face.is_balanced(BalanceKind::kFace));
+  EXPECT_TRUE(full.is_balanced(BalanceKind::kFull));
+  // Full balance implies face balance and needs at least as many leaves.
+  EXPECT_TRUE(full.is_balanced(BalanceKind::kFace));
+  EXPECT_GE(full.num_quadrants(), face.num_quadrants());
+}
+
+TYPED_TEST(BalanceT, RandomForestsBecomeBalanced) {
+  using R = TypeParam;
+  Xoshiro256 rng(4242);
+  for (int trial = 0; trial < 3; ++trial) {
+    auto f = Forest<R>::new_uniform(Connectivity::unit(R::dim), 1);
+    f.refine(true, [&](tree_id_t, const typename R::quad_t& q) {
+      return R::level(q) < 6 && rng.next_bool(0.35);
+    });
+    f.balance(BalanceKind::kFull);
+    ASSERT_TRUE(f.is_valid());
+    ASSERT_TRUE(f.is_balanced(BalanceKind::kFull));
+  }
+}
+
+TYPED_TEST(BalanceT, CrossTreeRipple) {
+  using R = TypeParam;
+  const auto conn = R::dim == 2 ? Connectivity::brick2d(2, 1)
+                                : Connectivity::brick3d(2, 1, 1);
+  auto f = Forest<R>::new_uniform(conn, 1);
+  // Deep refinement only in tree 0, against the face shared with tree 1:
+  // the chain along child (1,0[,0]) direction, i.e. child id 1 at every
+  // level (stays on the +x face).
+  f.refine(true, [&](tree_id_t t, const typename R::quad_t& q) {
+    if (t != 0 || R::level(q) >= 6) {
+      return false;
+    }
+    // Follow the +x-most, lowest-y/z corner chain.
+    coord_t x, y, z;
+    int lvl;
+    R::to_coords(q, x, y, z, lvl);
+    return y == 0 && z == 0 &&
+           x + R::length_at(lvl) == (coord_t{1} << R::max_level);
+  });
+  EXPECT_FALSE(f.is_balanced(BalanceKind::kFull));
+  f.balance(BalanceKind::kFull);
+  EXPECT_TRUE(f.is_balanced(BalanceKind::kFull));
+  // Tree 1 must have been refined by the ripple across the tree face.
+  EXPECT_GT(f.tree_quadrants(1).size(),
+            static_cast<std::size_t>(1) << R::dim);
+  EXPECT_TRUE(f.is_valid());
+}
+
+TEST(BalanceEdgeKind, ThreeDEdgeBalanceBetweenFaceAndFull) {
+  using R = StandardRep<3>;
+  auto make = [] {
+    auto f = Forest<R>::new_root(Connectivity::unit(3));
+    f.refine(true, [&](tree_id_t, const R::quad_t& q) {
+      const int l = R::level(q);
+      const morton_t chain = l == 0 ? 0 : (morton_t{1} << (3 * (l - 1))) - 1;
+      return l < 5 && R::level_index(q) == chain;
+    });
+    return f;
+  };
+  auto face = make();
+  face.balance(BalanceKind::kFace);
+  auto edge = make();
+  edge.balance(BalanceKind::kEdge);
+  auto full = make();
+  full.balance(BalanceKind::kFull);
+  EXPECT_LE(face.num_quadrants(), edge.num_quadrants());
+  EXPECT_LE(edge.num_quadrants(), full.num_quadrants());
+  EXPECT_TRUE(edge.is_balanced(BalanceKind::kEdge));
+  EXPECT_TRUE(edge.is_balanced(BalanceKind::kFace));
+}
+
+TEST(BalanceUniform, AlreadyBalancedUnchanged) {
+  using R = MortonRep<3>;
+  auto f = Forest<R>::new_uniform(Connectivity::unit(3), 3);
+  const gidx_t n = f.num_quadrants();
+  f.balance(BalanceKind::kFull);
+  EXPECT_EQ(f.num_quadrants(), n);
+}
+
+TEST(BalancePeriodic, WrapsAroundTorus) {
+  using R = StandardRep<2>;
+  auto f = Forest<R>::new_uniform(Connectivity::brick2d(1, 1, true, true), 1);
+  // Refine the center-corner chain deeply; with periodic wrap the
+  // constraint also propagates around the torus.
+  f.refine(true, [&](tree_id_t, const R::quad_t& q) {
+    const int l = R::level(q);
+    const morton_t chain = l == 0 ? 0 : (morton_t{1} << (2 * (l - 1))) - 1;
+    return l < 6 && R::level_index(q) == chain;
+  });
+  f.balance(BalanceKind::kFull);
+  EXPECT_TRUE(f.is_balanced(BalanceKind::kFull));
+  EXPECT_TRUE(f.is_valid());
+}
+
+}  // namespace
+}  // namespace qforest

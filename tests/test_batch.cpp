@@ -1,0 +1,122 @@
+/// \file test_batch.cpp
+/// \brief 256-bit batched quadrant operations must agree element-wise
+/// with the per-quadrant AVX kernels, including odd-length tails.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/batch_avx.hpp"
+#include "helpers.hpp"
+#include "util/random.hpp"
+
+namespace qforest {
+namespace {
+
+template <int Dim>
+std::vector<typename AvxRep<Dim>::quad_t> uniform_level_batch(
+    Xoshiro256& rng, std::size_t n, int level) {
+  std::vector<typename AvxRep<Dim>::quad_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(AvxRep<Dim>::morton_quadrant(
+        rng.next_below(morton_t{1} << (Dim * level)), level));
+  }
+  return out;
+}
+
+class BatchSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchSizes, ChildUniformMatchesScalar3D) {
+  using A = AvxRep<3>;
+  Xoshiro256 rng(1001);
+  const std::size_t n = GetParam();
+  const int level = 5;
+  const auto in = uniform_level_batch<3>(rng, n, level);
+  std::vector<A::quad_t> out(n);
+  for (int c = 0; c < 8; ++c) {
+    AvxBatch<3>::child_uniform(in.data(), out.data(), n, c, level);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(A::equal(out[i], A::child(in[i], c)))
+          << "c=" << c << " i=" << i;
+    }
+  }
+}
+
+TEST_P(BatchSizes, ParentUniformMatchesScalar3D) {
+  using A = AvxRep<3>;
+  Xoshiro256 rng(1002);
+  const std::size_t n = GetParam();
+  const int level = 7;
+  const auto in = uniform_level_batch<3>(rng, n, level);
+  std::vector<A::quad_t> out(n);
+  AvxBatch<3>::parent_uniform(in.data(), out.data(), n, level);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(A::equal(out[i], A::parent(in[i])));
+  }
+}
+
+TEST_P(BatchSizes, FaceNeighborUniformMatchesScalar3D) {
+  using A = AvxRep<3>;
+  Xoshiro256 rng(1003);
+  const std::size_t n = GetParam();
+  const int level = 6;
+  const auto in = uniform_level_batch<3>(rng, n, level);
+  std::vector<A::quad_t> out(n);
+  for (int f = 0; f < 6; ++f) {
+    AvxBatch<3>::face_neighbor_uniform(in.data(), out.data(), n, f, level);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(A::equal(out[i], A::face_neighbor(in[i], f)))
+          << "f=" << f << " i=" << i;
+    }
+  }
+}
+
+// Odd sizes exercise the scalar tail; 0 and 1 are the degenerate cases.
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchSizes,
+                         ::testing::Values(0, 1, 2, 3, 7, 64, 65, 1001));
+
+TEST(Batch2D, ChildUniformMatchesScalar) {
+  using A = AvxRep<2>;
+  Xoshiro256 rng(1004);
+  const int level = 5;
+  std::vector<A::quad_t> in = uniform_level_batch<2>(rng, 513, level);
+  std::vector<A::quad_t> out(in.size());
+  for (int c = 0; c < 4; ++c) {
+    AvxBatch<2>::child_uniform(in.data(), out.data(), in.size(), c, level);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      ASSERT_TRUE(A::equal(out[i], A::child(in[i], c)));
+    }
+  }
+}
+
+TEST(Batch, InPlaceOperationAllowed) {
+  // out == in aliasing must work (pure load-compute-store loops).
+  using A = AvxRep<3>;
+  Xoshiro256 rng(1005);
+  const int level = 4;
+  auto quads = uniform_level_batch<3>(rng, 100, level);
+  const auto orig = quads;
+  AvxBatch<3>::child_uniform(quads.data(), quads.data(), quads.size(), 3,
+                             level);
+  for (std::size_t i = 0; i < quads.size(); ++i) {
+    ASSERT_TRUE(A::equal(quads[i], A::child(orig[i], 3)));
+  }
+}
+
+TEST(Batch, RoundTripChildParent) {
+  using A = AvxRep<3>;
+  Xoshiro256 rng(1006);
+  const int level = 6;
+  const auto in = uniform_level_batch<3>(rng, 777, level);
+  std::vector<A::quad_t> kids(in.size()), back(in.size());
+  AvxBatch<3>::child_uniform(in.data(), kids.data(), in.size(), 6, level);
+  AvxBatch<3>::parent_uniform(kids.data(), back.data(), kids.size(),
+                              level + 1);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_TRUE(A::equal(back[i], in[i]));
+  }
+}
+
+}  // namespace
+}  // namespace qforest

@@ -1,0 +1,136 @@
+/// \file test_bits.cpp
+/// \brief Unit + property tests for the bit-interleaving kernels, the
+/// foundation of every Morton operation.
+
+#include <gtest/gtest.h>
+
+#include "core/bits.hpp"
+#include "util/random.hpp"
+
+namespace qforest::bits {
+namespace {
+
+TEST(Bits, Spread2KnownValues) {
+  EXPECT_EQ(spread2_magic(0u), 0u);
+  EXPECT_EQ(spread2_magic(1u), 1u);
+  EXPECT_EQ(spread2_magic(0b11u), 0b101u);
+  EXPECT_EQ(spread2_magic(0b101u), 0b10001u);
+  EXPECT_EQ(spread2_magic(0xFFFFFFFFull), kMask2X);
+}
+
+TEST(Bits, Spread3KnownValues) {
+  EXPECT_EQ(spread3_magic(0u), 0u);
+  EXPECT_EQ(spread3_magic(1u), 1u);
+  EXPECT_EQ(spread3_magic(0b11u), 0b1001u);
+  EXPECT_EQ(spread3_magic(0b111u), 0b1001001u);
+  EXPECT_EQ(spread3_magic(0x1FFFFFull), 0x1249249249249249ull);
+}
+
+TEST(Bits, Spread2RoundTripExhaustive16) {
+  for (std::uint64_t v = 0; v < (1u << 16); ++v) {
+    EXPECT_EQ(compact2_magic(spread2_magic(v)), v);
+  }
+}
+
+TEST(Bits, Spread3RoundTripExhaustive16) {
+  for (std::uint64_t v = 0; v < (1u << 16); ++v) {
+    EXPECT_EQ(compact3_magic(spread3_magic(v)), v);
+  }
+}
+
+TEST(Bits, DispatchedMatchesMagicRandom) {
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v32 = rng.next_u64() & 0xFFFFFFFFull;
+    const std::uint64_t v21 = rng.next_u64() & 0x1FFFFFull;
+    EXPECT_EQ(spread2(v32), spread2_magic(v32));
+    EXPECT_EQ(spread3(v21), spread3_magic(v21));
+    EXPECT_EQ(compact2(spread2(v32)), v32);
+    EXPECT_EQ(compact3(spread3(v21)), v21);
+  }
+}
+
+TEST(Bits, LutMatchesMagicRandom) {
+  Xoshiro256 rng(43);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v32 = rng.next_u64() & 0xFFFFFFFFull;
+    const std::uint64_t v21 = rng.next_u64() & 0x1FFFFFull;
+    EXPECT_EQ(spread2_lut(v32), spread2_magic(v32));
+    EXPECT_EQ(spread3_lut(v21), spread3_magic(v21));
+  }
+}
+
+TEST(Bits, Interleave2ManualCheck) {
+  // x = 0b10, y = 0b11 -> z-order bits y1 x1 y0 x0 = 1 1 1 0.
+  EXPECT_EQ(interleave2(0b10u, 0b11u), 0b1110u);
+  std::uint32_t x = 0, y = 0;
+  deinterleave2(0b1110u, x, y);
+  EXPECT_EQ(x, 0b10u);
+  EXPECT_EQ(y, 0b11u);
+}
+
+TEST(Bits, Interleave3ManualCheck) {
+  // x=1,y=0,z=1 -> bits z0 y0 x0 = 101.
+  EXPECT_EQ(interleave3(1u, 0u, 1u), 0b101u);
+  // x=0b11, y=0b01, z=0b10 -> (z1 y1 x1)(z0 y0 x0) = (1 0 1)(0 1 1).
+  EXPECT_EQ(interleave3(0b11u, 0b01u, 0b10u), 0b101011u);
+  std::uint32_t x = 0, y = 0, z = 0;
+  deinterleave3(0b101011u, x, y, z);
+  EXPECT_EQ(x, 0b11u);
+  EXPECT_EQ(y, 0b01u);
+  EXPECT_EQ(z, 0b10u);
+}
+
+TEST(Bits, Interleave3OrderPreserving) {
+  // Morton order refines lexicographic (z,y,x) block order: interleaving
+  // is monotone in each coordinate when the others are fixed.
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next_below(1u << 20));
+    const auto y = static_cast<std::uint32_t>(rng.next_below(1u << 20));
+    const auto z = static_cast<std::uint32_t>(rng.next_below(1u << 20));
+    EXPECT_LT(interleave3(x, y, z), interleave3(x + 1, y, z));
+    EXPECT_LT(interleave3(x, y, z), interleave3(x, y + 1, z));
+    EXPECT_LT(interleave3(x, y, z), interleave3(x, y, z + 1));
+  }
+}
+
+TEST(Bits, HighestBit) {
+  EXPECT_EQ(highest_bit(0), -1);
+  EXPECT_EQ(highest_bit(1), 0);
+  EXPECT_EQ(highest_bit(2), 1);
+  EXPECT_EQ(highest_bit(3), 1);
+  EXPECT_EQ(highest_bit(0x8000000000000000ull), 63);
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_EQ(highest_bit(1ull << b), b);
+  }
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0ull);
+  EXPECT_EQ(low_mask(1), 1ull);
+  EXPECT_EQ(low_mask(56), 0x00FFFFFFFFFFFFFFull);
+  EXPECT_EQ(low_mask(64), ~0ull);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 63));
+  EXPECT_FALSE(is_pow2((1ull << 63) + 1));
+}
+
+TEST(Bits, MaskConstantsDisjointAndComplete) {
+  EXPECT_EQ(kMask3X | kMask3Y | kMask3Z, ~0ull);
+  EXPECT_EQ(kMask3X & kMask3Y, 0ull);
+  EXPECT_EQ(kMask3X & kMask3Z, 0ull);
+  EXPECT_EQ(kMask3Y & kMask3Z, 0ull);
+  EXPECT_EQ(kMask2X ^ kMask2Y, ~0ull);
+  EXPECT_EQ(kMask3Y, kMask3X << 1);
+  EXPECT_EQ(kMask3Z, kMask3X << 2);
+}
+
+}  // namespace
+}  // namespace qforest::bits

@@ -1,0 +1,305 @@
+/// \file test_equivalence.cpp
+/// \brief The central property suite: all four representations implement
+/// the *same* logical quadrant algebra. Every low-level operation is
+/// swept with random inputs through every representation and compared in
+/// canonical form against the standard baseline — the paper's core claim
+/// that encodings are exchangeable "while their logical information
+/// remains equivalent" (§2).
+
+#include <gtest/gtest.h>
+
+#include "core/canonical.hpp"
+#include "helpers.hpp"
+#include "util/random.hpp"
+
+namespace qforest {
+namespace {
+
+template <class R>
+class Equivalence3D : public ::testing::Test {};
+
+using Reps3 = ::testing::Types<MortonRep<3>, AvxRep<3>, WideMortonRep<3>>;
+TYPED_TEST_SUITE(Equivalence3D, Reps3);
+
+using S3 = StandardRep<3>;
+
+/// Shared level cap: every op must agree wherever both reps can express
+/// the quadrant (3D: Morton rep caps at 18).
+template <class R>
+constexpr int shared_cap() {
+  return std::min(test::max_index_level<R>(), test::max_index_level<S3>());
+}
+
+TYPED_TEST(Equivalence3D, MortonConstruction) {
+  using R = TypeParam;
+  Xoshiro256 rng(101);
+  for (int i = 0; i < 20000; ++i) {
+    const int lvl = static_cast<int>(rng.next_below(shared_cap<R>() + 1));
+    const morton_t il = rng.next_below(morton_t{1} << (3 * lvl));
+    EXPECT_TRUE((test::canonically_equal<R, S3>(
+        R::morton_quadrant(il, lvl), S3::morton_quadrant(il, lvl))));
+  }
+}
+
+TYPED_TEST(Equivalence3D, LevelIndexInverse) {
+  using R = TypeParam;
+  Xoshiro256 rng(102);
+  for (int i = 0; i < 20000; ++i) {
+    const int lvl = static_cast<int>(rng.next_below(shared_cap<R>() + 1));
+    const morton_t il = rng.next_below(morton_t{1} << (3 * lvl));
+    EXPECT_EQ(R::level_index(R::morton_quadrant(il, lvl)), il);
+  }
+}
+
+TYPED_TEST(Equivalence3D, Child) {
+  using R = TypeParam;
+  Xoshiro256 rng(103);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = static_cast<int>(rng.next_below(shared_cap<R>()));
+    const morton_t il = rng.next_below(morton_t{1} << (3 * lvl));
+    const auto qr = R::morton_quadrant(il, lvl);
+    const auto qs = S3::morton_quadrant(il, lvl);
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_TRUE((test::canonically_equal<R, S3>(R::child(qr, c),
+                                                  S3::child(qs, c))));
+    }
+  }
+}
+
+TYPED_TEST(Equivalence3D, ParentSiblingSuccessorPredecessor) {
+  using R = TypeParam;
+  Xoshiro256 rng(104);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(shared_cap<R>()));
+    const morton_t span = morton_t{1} << (3 * lvl);
+    const morton_t il = 1 + rng.next_below(span - 2);  // interior of curve
+    const auto qr = R::morton_quadrant(il, lvl);
+    const auto qs = S3::morton_quadrant(il, lvl);
+    EXPECT_TRUE(
+        (test::canonically_equal<R, S3>(R::parent(qr), S3::parent(qs))));
+    EXPECT_TRUE((test::canonically_equal<R, S3>(R::successor(qr),
+                                                S3::successor(qs))));
+    EXPECT_TRUE((test::canonically_equal<R, S3>(R::predecessor(qr),
+                                                S3::predecessor(qs))));
+    for (int s = 0; s < 8; ++s) {
+      EXPECT_TRUE((test::canonically_equal<R, S3>(R::sibling(qr, s),
+                                                  S3::sibling(qs, s))));
+    }
+    EXPECT_EQ(R::child_id(qr), S3::child_id(qs));
+  }
+}
+
+TYPED_TEST(Equivalence3D, FaceNeighborInterior) {
+  using R = TypeParam;
+  Xoshiro256 rng(105);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(shared_cap<R>()));
+    const morton_t il = rng.next_below(morton_t{1} << (3 * lvl));
+    const auto qr = R::morton_quadrant(il, lvl);
+    const auto qs = S3::morton_quadrant(il, lvl);
+    int tb[3];
+    S3::tree_boundaries(qs, tb);
+    for (int f = 0; f < 6; ++f) {
+      if (tb[f >> 1] == f) {
+        continue;  // raw Morton wraps at the boundary by design
+      }
+      EXPECT_TRUE((test::canonically_equal<R, S3>(
+          R::face_neighbor(qr, f), S3::face_neighbor(qs, f))));
+    }
+  }
+}
+
+TYPED_TEST(Equivalence3D, TreeBoundaries) {
+  using R = TypeParam;
+  Xoshiro256 rng(106);
+  for (int i = 0; i < 20000; ++i) {
+    const int lvl = static_cast<int>(rng.next_below(shared_cap<R>() + 1));
+    const morton_t il = rng.next_below(morton_t{1} << (3 * lvl));
+    int fr[3], fs[3];
+    R::tree_boundaries(R::morton_quadrant(il, lvl), fr);
+    S3::tree_boundaries(S3::morton_quadrant(il, lvl), fs);
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(fr[d], fs[d]);
+    }
+  }
+}
+
+TYPED_TEST(Equivalence3D, OrderIsomorphism) {
+  using R = TypeParam;
+  Xoshiro256 rng(107);
+  for (int i = 0; i < 20000; ++i) {
+    const int la = static_cast<int>(rng.next_below(shared_cap<R>() + 1));
+    const int lb = static_cast<int>(rng.next_below(shared_cap<R>() + 1));
+    const morton_t ia = rng.next_below(morton_t{1} << (3 * la));
+    const morton_t ib = rng.next_below(morton_t{1} << (3 * lb));
+    const auto ar = R::morton_quadrant(ia, la);
+    const auto br = R::morton_quadrant(ib, lb);
+    const auto as = S3::morton_quadrant(ia, la);
+    const auto bs = S3::morton_quadrant(ib, lb);
+    EXPECT_EQ(R::less(ar, br), S3::less(as, bs));
+    EXPECT_EQ(R::equal(ar, br), S3::equal(as, bs));
+    EXPECT_EQ(R::is_ancestor(ar, br), S3::is_ancestor(as, bs));
+    EXPECT_EQ(R::overlaps(ar, br), S3::overlaps(as, bs));
+  }
+}
+
+TYPED_TEST(Equivalence3D, NearestCommonAncestor) {
+  using R = TypeParam;
+  Xoshiro256 rng(108);
+  for (int i = 0; i < 10000; ++i) {
+    const int la = static_cast<int>(rng.next_below(shared_cap<R>() + 1));
+    const int lb = static_cast<int>(rng.next_below(shared_cap<R>() + 1));
+    const morton_t ia = rng.next_below(morton_t{1} << (3 * la));
+    const morton_t ib = rng.next_below(morton_t{1} << (3 * lb));
+    EXPECT_TRUE((test::canonically_equal<R, S3>(
+        R::nearest_common_ancestor(R::morton_quadrant(ia, la),
+                                   R::morton_quadrant(ib, lb)),
+        S3::nearest_common_ancestor(S3::morton_quadrant(ia, la),
+                                    S3::morton_quadrant(ib, lb)))));
+  }
+}
+
+TYPED_TEST(Equivalence3D, AncestorsAndDescendants) {
+  using R = TypeParam;
+  Xoshiro256 rng(109);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(shared_cap<R>()));
+    const morton_t il = rng.next_below(morton_t{1} << (3 * lvl));
+    const auto qr = R::morton_quadrant(il, lvl);
+    const auto qs = S3::morton_quadrant(il, lvl);
+    const int up = static_cast<int>(rng.next_below(lvl + 1));
+    EXPECT_TRUE((test::canonically_equal<R, S3>(R::ancestor(qr, up),
+                                                S3::ancestor(qs, up))));
+    const int down =
+        lvl + static_cast<int>(rng.next_below(
+                  static_cast<std::uint64_t>(shared_cap<R>() - lvl) + 1));
+    EXPECT_TRUE((test::canonically_equal<R, S3>(
+        R::first_descendant(qr, down), S3::first_descendant(qs, down))));
+    EXPECT_TRUE((test::canonically_equal<R, S3>(
+        R::last_descendant(qr, down), S3::last_descendant(qs, down))));
+  }
+}
+
+TYPED_TEST(Equivalence3D, CanonicalRoundTrip) {
+  using R = TypeParam;
+  Xoshiro256 rng(110);
+  for (int i = 0; i < 10000; ++i) {
+    const auto q = test::random_quadrant<R>(rng, shared_cap<R>());
+    // R -> standard -> R is the identity.
+    const auto s = convert<R, S3>(q);
+    const auto back = convert<S3, R>(s);
+    EXPECT_TRUE(R::equal(q, back));
+  }
+}
+
+// ------------------------------------------------------------------ 2D
+
+template <class R>
+class Equivalence2D : public ::testing::Test {};
+
+using Reps2 = ::testing::Types<MortonRep<2>, AvxRep<2>, WideMortonRep<2>>;
+TYPED_TEST_SUITE(Equivalence2D, Reps2);
+
+using S2 = StandardRep<2>;
+
+template <class R>
+constexpr int shared_cap2() {
+  return std::min({test::max_index_level<R>(), test::max_index_level<S2>()});
+}
+
+TYPED_TEST(Equivalence2D, FullOperationSweep) {
+  using R = TypeParam;
+  Xoshiro256 rng(111);
+  for (int i = 0; i < 20000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(shared_cap2<R>()));
+    const morton_t il = rng.next_below(morton_t{1} << (2 * lvl));
+    const auto qr = R::morton_quadrant(il, lvl);
+    const auto qs = S2::morton_quadrant(il, lvl);
+    EXPECT_TRUE((test::canonically_equal<R, S2>(qr, qs)));
+    EXPECT_TRUE(
+        (test::canonically_equal<R, S2>(R::parent(qr), S2::parent(qs))));
+    EXPECT_EQ(R::child_id(qr), S2::child_id(qs));
+    if (lvl < shared_cap2<R>()) {
+      for (int c = 0; c < 4; ++c) {
+        EXPECT_TRUE((test::canonically_equal<R, S2>(R::child(qr, c),
+                                                    S2::child(qs, c))));
+      }
+    }
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_TRUE((test::canonically_equal<R, S2>(R::sibling(qr, s),
+                                                  S2::sibling(qs, s))));
+    }
+    int tr[2], ts[2];
+    R::tree_boundaries(qr, tr);
+    S2::tree_boundaries(qs, ts);
+    EXPECT_EQ(tr[0], ts[0]);
+    EXPECT_EQ(tr[1], ts[1]);
+    int tb[2];
+    S2::tree_boundaries(qs, tb);
+    for (int f = 0; f < 4; ++f) {
+      if (tb[f >> 1] == f) {
+        continue;
+      }
+      EXPECT_TRUE((test::canonically_equal<R, S2>(
+          R::face_neighbor(qr, f), S2::face_neighbor(qs, f))));
+    }
+  }
+}
+
+TYPED_TEST(Equivalence2D, OrderIsomorphism) {
+  using R = TypeParam;
+  Xoshiro256 rng(112);
+  for (int i = 0; i < 20000; ++i) {
+    const int la = static_cast<int>(rng.next_below(shared_cap2<R>() + 1));
+    const int lb = static_cast<int>(rng.next_below(shared_cap2<R>() + 1));
+    const morton_t ia = rng.next_below(morton_t{1} << (2 * la));
+    const morton_t ib = rng.next_below(morton_t{1} << (2 * lb));
+    EXPECT_EQ(R::less(R::morton_quadrant(ia, la), R::morton_quadrant(ib, lb)),
+              S2::less(S2::morton_quadrant(ia, la),
+                       S2::morton_quadrant(ib, lb)));
+  }
+}
+
+// --------------------------------------------------- parameterized depth
+
+/// Exhaustive agreement at one fixed level over the whole level grid:
+/// catches systematic bit errors random sweeps could miss.
+class ExhaustiveLevel : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExhaustiveLevel, AllOpsAllPositions3D) {
+  const int lvl = GetParam();
+  const morton_t n = morton_t{1} << (3 * lvl);
+  for (morton_t il = 0; il < n; ++il) {
+    const auto s = S3::morton_quadrant(il, lvl);
+    const auto m = MortonRep<3>::morton_quadrant(il, lvl);
+    const auto a = AvxRep<3>::morton_quadrant(il, lvl);
+    const auto w = WideMortonRep<3>::morton_quadrant(il, lvl);
+    ASSERT_TRUE((test::canonically_equal<MortonRep<3>, S3>(m, s)));
+    ASSERT_TRUE((test::canonically_equal<AvxRep<3>, S3>(a, s)));
+    ASSERT_TRUE((test::canonically_equal<WideMortonRep<3>, S3>(w, s)));
+    if (lvl > 0) {
+      ASSERT_TRUE((test::canonically_equal<MortonRep<3>, S3>(
+          MortonRep<3>::parent(m), S3::parent(s))));
+      ASSERT_TRUE((test::canonically_equal<AvxRep<3>, S3>(
+          AvxRep<3>::parent(a), S3::parent(s))));
+      ASSERT_TRUE((test::canonically_equal<WideMortonRep<3>, S3>(
+          WideMortonRep<3>::parent(w), S3::parent(s))));
+    }
+    int fs[3], fm[3], fa[3], fw[3];
+    S3::tree_boundaries(s, fs);
+    MortonRep<3>::tree_boundaries(m, fm);
+    AvxRep<3>::tree_boundaries(a, fa);
+    WideMortonRep<3>::tree_boundaries(w, fw);
+    for (int d = 0; d < 3; ++d) {
+      ASSERT_EQ(fm[d], fs[d]);
+      ASSERT_EQ(fa[d], fs[d]);
+      ASSERT_EQ(fw[d], fs[d]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ExhaustiveLevel, ::testing::Values(0, 1, 2, 3),
+                         ::testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace qforest

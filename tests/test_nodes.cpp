@@ -1,0 +1,204 @@
+/// \file test_nodes.cpp
+/// \brief Corner-node numbering: counts on uniform grids, hanging node
+/// classification, periodic identification, cross-representation
+/// equality, and ghost mirror/exchange semantics.
+
+#include <gtest/gtest.h>
+
+#include "forest/forest.hpp"
+#include "forest/nodes.hpp"
+#include "helpers.hpp"
+
+namespace qforest {
+namespace {
+
+TEST(Nodes, Uniform2DCounts) {
+  for (int lvl = 0; lvl <= 4; ++lvl) {
+    auto f = Forest<StandardRep<2>>::new_uniform(Connectivity::unit(2), lvl);
+    const auto nodes = number_corner_nodes(f);
+    const std::int64_t n = (std::int64_t{1} << lvl) + 1;
+    EXPECT_EQ(nodes.num_nodes(), n * n) << "level " << lvl;
+    EXPECT_EQ(nodes.num_independent(), n * n);
+    EXPECT_EQ(nodes.element_nodes.size(),
+              static_cast<std::size_t>(f.num_quadrants()));
+  }
+}
+
+TEST(Nodes, Uniform3DCounts) {
+  for (int lvl = 0; lvl <= 3; ++lvl) {
+    auto f = Forest<MortonRep<3>>::new_uniform(Connectivity::unit(3), lvl);
+    const auto nodes = number_corner_nodes(f);
+    const std::int64_t n = (std::int64_t{1} << lvl) + 1;
+    EXPECT_EQ(nodes.num_nodes(), n * n * n) << "level " << lvl;
+    EXPECT_EQ(nodes.num_independent(), n * n * n);
+  }
+}
+
+TEST(Nodes, SingleHangingFace2D) {
+  // Refine one quadrant of a level-1 mesh: the two new edge midpoints on
+  // the faces shared with the *unrefined* neighbors are hanging; the
+  // center point and boundary midpoints are not.
+  auto f = Forest<StandardRep<2>>::new_uniform(Connectivity::unit(2), 1);
+  f.refine(false, [](tree_id_t, const StandardRep<2>::quad_t& q) {
+    return StandardRep<2>::level_index(q) == 0;
+  });
+  ASSERT_TRUE(f.is_balanced(BalanceKind::kFace));
+  const auto nodes = number_corner_nodes(f);
+  // 3x3 coarse grid (9) + 4 new points from the refinement: the refined
+  // quadrant adds its center and 4 edge midpoints, 2 of which lie on the
+  // domain boundary (not hanging), 2 on interior faces shared with
+  // coarser neighbors (hanging).
+  EXPECT_EQ(nodes.num_nodes(), 9 + 5);
+  std::int64_t hanging = 0;
+  for (const bool h : nodes.hanging) {
+    hanging += h ? 1 : 0;
+  }
+  EXPECT_EQ(hanging, 2);
+  EXPECT_EQ(nodes.num_independent(), nodes.num_nodes() - 2);
+}
+
+TEST(Nodes, ElementNodeIdsAreShared) {
+  // Adjacent elements reference the same id for their shared corners.
+  auto f = Forest<MortonRep<2>>::new_uniform(Connectivity::unit(2), 2);
+  const auto nodes = number_corner_nodes(f);
+  // Element 0 (lower-left cell) corner 1 (lower-right) == element of the
+  // +x neighbor, corner 0.
+  const auto& leaves = f.tree_quadrants(0);
+  std::size_t right = leaves.size();
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    coord_t x, y, z;
+    int lvl;
+    MortonRep<2>::to_coords(leaves[i], x, y, z, lvl);
+    if (x == MortonRep<2>::length_at(2) && y == 0) {
+      right = i;
+    }
+  }
+  ASSERT_LT(right, leaves.size());
+  EXPECT_EQ(nodes.element_nodes[0][1], nodes.element_nodes[right][0]);
+}
+
+TEST(Nodes, PeriodicIdentifiesOppositeFaces) {
+  // On a fully periodic unit torus at level l there are exactly 2^(2l)
+  // distinct nodes (wrap identifies the boundary).
+  for (int lvl = 1; lvl <= 3; ++lvl) {
+    auto f = Forest<StandardRep<2>>::new_uniform(
+        Connectivity::brick2d(1, 1, true, true), lvl);
+    const auto nodes = number_corner_nodes(f);
+    EXPECT_EQ(nodes.num_nodes(), std::int64_t{1} << (2 * lvl));
+  }
+}
+
+TEST(Nodes, MultiTreeBrickSharesFaceNodes) {
+  // Two trees side by side at level 1: 3x3 nodes per tree minus the
+  // shared column of 3 -> 15.
+  auto f = Forest<StandardRep<2>>::new_uniform(Connectivity::brick2d(2, 1),
+                                               1);
+  const auto nodes = number_corner_nodes(f);
+  EXPECT_EQ(nodes.num_nodes(), 15);
+}
+
+TEST(Nodes, CrossRepresentationIdenticalNumbering) {
+  auto make = [](auto rep_tag) {
+    using R = decltype(rep_tag);
+    auto f = Forest<R>::new_uniform(Connectivity::unit(R::dim), 1);
+    f.refine(true, [](tree_id_t, const typename R::quad_t& q) {
+      const int l = R::level(q);
+      const morton_t chain =
+          l == 0 ? 0 : (morton_t{1} << (R::dim * (l - 1))) - 1;
+      return l < 4 && R::level_index(q) == chain;
+    });
+    f.balance(BalanceKind::kFull);
+    return number_corner_nodes(f);
+  };
+  const auto a = make(StandardRep<3>{});
+  const auto b = make(MortonRep<3>{});
+  const auto c = make(AvxRep<3>{});
+  EXPECT_EQ(a.coordinates, b.coordinates);
+  EXPECT_EQ(a.hanging, b.hanging);
+  EXPECT_EQ(a.element_nodes, b.element_nodes);
+  EXPECT_EQ(a.coordinates, c.coordinates);
+  EXPECT_EQ(a.hanging, c.hanging);
+}
+
+TEST(Nodes, HangingCount3DKnownConfiguration) {
+  // Refine one octant of a level-1 mesh: the fine octant contributes
+  // face-midpoint and edge-midpoint nodes on the three interior faces.
+  auto f = Forest<MortonRep<3>>::new_uniform(Connectivity::unit(3), 1);
+  f.refine(false, [](tree_id_t, const MortonRep<3>::quad_t& q) {
+    return MortonRep<3>::level_index(q) == 0;
+  });
+  ASSERT_TRUE(f.is_balanced(BalanceKind::kFull));
+  const auto nodes = number_corner_nodes(f);
+  std::int64_t hanging = 0;
+  for (const bool h : nodes.hanging) {
+    hanging += h ? 1 : 0;
+  }
+  // The refined octant has 3 interior faces (x=1/2, y=1/2, z=1/2 quarter
+  // planes). Per face, the 3x3 fine node grid contains 5 non-corner
+  // points: 1 face center (on the coarse neighbor's open face) and 4
+  // edge midpoints (on coarse octants' open edges) — all hanging. The
+  // three faces pairwise share one diagonal edge midpoint each, so the
+  // distinct count is 3*5 - 3 = 12.
+  EXPECT_EQ(hanging, 12);
+  EXPECT_EQ(nodes.num_independent(), nodes.num_nodes() - hanging);
+}
+
+TEST(Nodes, UnbalancedForestRejected) {
+  auto f = Forest<StandardRep<2>>::new_root(Connectivity::unit(2));
+  f.refine(true, [](tree_id_t, const StandardRep<2>::quad_t& q) {
+    const int l = StandardRep<2>::level(q);
+    const morton_t chain =
+        l == 0 ? 0 : (morton_t{1} << (2 * (l - 1))) - 1;
+    return l < 4 && StandardRep<2>::level_index(q) == chain;
+  });
+  ASSERT_FALSE(f.is_balanced(BalanceKind::kFace));
+  EXPECT_THROW(number_corner_nodes(f), std::invalid_argument);
+}
+
+TEST(GhostExchange, MirrorsReciprocateGhosts) {
+  auto f = Forest<MortonRep<2>>::new_uniform(Connectivity::unit(2), 3, 4);
+  for (int r = 0; r < 4; ++r) {
+    const auto m = f.mirrors(r);
+    const auto [first, last] = f.rank_range(r);
+    for (const gidx_t g : m) {
+      EXPECT_GE(g, first);
+      EXPECT_LT(g, last);
+    }
+    // Every mirror is someone's ghost: count cross-check.
+    std::size_t appearances = 0;
+    for (int o = 0; o < 4; ++o) {
+      if (o == r) {
+        continue;
+      }
+      for (const auto& e : f.ghost_layer(o).entries) {
+        if (e.global_index >= first && e.global_index < last) {
+          ++appearances;
+        }
+      }
+    }
+    EXPECT_GE(appearances, m.size());
+  }
+}
+
+TEST(GhostExchange, PayloadArrivesFromOwner) {
+  auto f = Forest<MortonRep<2>>::new_uniform(Connectivity::unit(2), 3, 4);
+  f.enable_payload(0);
+  // Tag every leaf with its global index.
+  for (gidx_t g = 0; g < f.num_quadrants(); ++g) {
+    const auto [t, i] = f.locate(g);
+    f.payload(t, i) = static_cast<std::uint64_t>(g) * 13 + 7;
+  }
+  for (int r = 0; r < 4; ++r) {
+    const auto ghost = f.ghost_layer(r);
+    const auto data = f.ghost_exchange(r, ghost);
+    ASSERT_EQ(data.size(), ghost.entries.size());
+    for (std::size_t k = 0; k < data.size(); ++k) {
+      EXPECT_EQ(data[k],
+                static_cast<std::uint64_t>(ghost.entries[k].global_index) *
+                        13 + 7);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qforest

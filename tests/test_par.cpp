@@ -1,0 +1,154 @@
+/// \file test_par.cpp
+/// \brief Simulated-MPI layer: communicator collectives, thread pool,
+/// strong-scaling driver semantics.
+
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "par/communicator.hpp"
+#include "par/strong_scaling.hpp"
+#include "par/thread_pool.hpp"
+
+namespace qforest::par {
+namespace {
+
+TEST(Communicator, SizeValidation) {
+  EXPECT_THROW(Communicator(0), std::invalid_argument);
+  EXPECT_THROW(Communicator(-3), std::invalid_argument);
+  EXPECT_EQ(Communicator(4).size(), 4);
+}
+
+TEST(Communicator, ExscanPrefixSums) {
+  Communicator comm(4);
+  const auto out = comm.exscan({3, 1, 4, 1});
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 3);
+  EXPECT_EQ(out[2], 4);
+  EXPECT_EQ(out[3], 8);
+  EXPECT_EQ(out[4], 9);
+}
+
+TEST(Communicator, BlockDistributionCoversEverythingEvenly) {
+  for (int p : {1, 2, 3, 7, 16}) {
+    Communicator comm(p);
+    for (std::int64_t n : {0ll, 1ll, 13ll, 100ll, 1000001ll}) {
+      const auto off = comm.block_distribution(n);
+      ASSERT_EQ(static_cast<int>(off.size()), p + 1);
+      EXPECT_EQ(off.front(), 0);
+      EXPECT_EQ(off.back(), n);
+      for (int r = 0; r < p; ++r) {
+        const std::int64_t len = off[r + 1] - off[r];
+        EXPECT_GE(len, n / p);
+        EXPECT_LE(len, n / p + 1);
+      }
+    }
+  }
+}
+
+TEST(Communicator, OwnerOfMatchesRanges) {
+  Communicator comm(5);
+  const auto off = comm.block_distribution(23);
+  for (std::int64_t g = 0; g < 23; ++g) {
+    const int r = Communicator::owner_of(off, g);
+    EXPECT_GE(g, off[r]);
+    EXPECT_LT(g, off[r + 1]);
+  }
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeDisjointly) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (wave + 1) * 10);
+  }
+}
+
+TEST(StrongScaling, TaskCountsMatchPaperAxes) {
+  const auto counts = paper_task_counts();
+  ASSERT_EQ(counts.size(), 9u);
+  EXPECT_EQ(counts.front(), 2);
+  EXPECT_EQ(counts.back(), 512);
+  const auto small = paper_task_counts(64);
+  EXPECT_EQ(small.back(), 64);
+}
+
+TEST(StrongScaling, ChunksPartitionTheRange) {
+  std::vector<int> hits(1000, 0);
+  run_strong_scaling(
+      1000, 7,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          ++hits[i];
+        }
+      },
+      1);
+  // Every index visited exactly once per repetition sweep.
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(StrongScaling, MaxBoundsSum) {
+  const auto p = run_strong_scaling(
+      100000, 4,
+      [&](std::size_t b, std::size_t e) {
+        volatile std::uint64_t sink = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          sink = sink + i;
+        }
+      },
+      2);
+  EXPECT_EQ(p.tasks, 4);
+  EXPECT_GT(p.max_task_seconds, 0.0);
+  EXPECT_LE(p.max_task_seconds, p.sum_task_seconds + 1e-12);
+  EXPECT_GE(4.0 * p.max_task_seconds, p.sum_task_seconds);
+}
+
+TEST(StrongScaling, RuntimeShrinksWithTasks) {
+  // The simulated strong scaling must show the paper's qualitative
+  // behavior: more tasks -> smaller per-task (max) runtime.
+  auto work = [](std::size_t b, std::size_t e) {
+    volatile std::uint64_t sink = 0;
+    for (std::size_t i = b; i < e; ++i) {
+      sink = sink + i * i;
+    }
+  };
+  const std::size_t n = 2000000;
+  const auto t2 = run_strong_scaling(n, 2, work, 3);
+  const auto t16 = run_strong_scaling(n, 16, work, 3);
+  EXPECT_LT(t16.max_task_seconds, t2.max_task_seconds);
+}
+
+}  // namespace
+}  // namespace qforest::par

@@ -1,0 +1,119 @@
+/// \file test_payload.cpp
+/// \brief The per-leaf payload side channel (the standard representation's
+/// 8 user bytes, restored for compact encodings as a parallel array) must
+/// stay synchronized across refine, coarsen and balance.
+
+#include <gtest/gtest.h>
+
+#include "forest/forest.hpp"
+#include "helpers.hpp"
+
+namespace qforest {
+namespace {
+
+template <class R>
+class PayloadT : public ::testing::Test {};
+
+using PayloadReps = ::testing::Types<StandardRep<2>, MortonRep<2>,
+                                     MortonRep<3>, AvxRep<3>>;
+TYPED_TEST_SUITE(PayloadT, PayloadReps);
+
+TYPED_TEST(PayloadT, EnableInitializesAllLeaves) {
+  using R = TypeParam;
+  auto f = Forest<R>::new_uniform(Connectivity::unit(R::dim), 2);
+  f.enable_payload(42);
+  EXPECT_TRUE(f.payload_enabled());
+  for (tree_id_t t = 0; t < f.num_trees(); ++t) {
+    ASSERT_EQ(f.tree_payloads(t).size(), f.tree_quadrants(t).size());
+    for (const std::uint64_t v : f.tree_payloads(t)) {
+      EXPECT_EQ(v, 42u);
+    }
+  }
+}
+
+TYPED_TEST(PayloadT, ChildrenInheritOnRefine) {
+  using R = TypeParam;
+  auto f = Forest<R>::new_uniform(Connectivity::unit(R::dim), 1);
+  f.enable_payload(0);
+  // Tag each leaf with its own level_index.
+  for (std::size_t i = 0; i < f.tree_quadrants(0).size(); ++i) {
+    f.payload(0, i) = R::level_index(f.tree_quadrants(0)[i]);
+  }
+  f.refine(false, [](tree_id_t, const typename R::quad_t&) { return true; });
+  const auto& leaves = f.tree_quadrants(0);
+  const auto& payloads = f.tree_payloads(0);
+  ASSERT_EQ(payloads.size(), leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    // Each child carries the parent's tag = the parent's level index.
+    const auto p = R::parent(leaves[i]);
+    EXPECT_EQ(payloads[i], R::level_index(p));
+  }
+}
+
+TYPED_TEST(PayloadT, ParentTakesFirstChildOnCoarsen) {
+  using R = TypeParam;
+  auto f = Forest<R>::new_uniform(Connectivity::unit(R::dim), 2);
+  f.enable_payload(0);
+  for (std::size_t i = 0; i < f.tree_quadrants(0).size(); ++i) {
+    f.payload(0, i) = 1000 + i;
+  }
+  f.coarsen(false, [](tree_id_t, const typename R::quad_t*) { return true; });
+  const auto& payloads = f.tree_payloads(0);
+  ASSERT_EQ(payloads.size(), f.tree_quadrants(0).size());
+  constexpr std::size_t nc = DimConstants<R::dim>::num_children;
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(payloads[i], 1000 + i * nc);  // first child of each family
+  }
+}
+
+TYPED_TEST(PayloadT, BalanceKeepsPayloadArraysAligned) {
+  using R = TypeParam;
+  auto f = Forest<R>::new_root(Connectivity::unit(R::dim));
+  f.enable_payload(7);
+  f.refine(true, [](tree_id_t, const typename R::quad_t& q) {
+    const int l = R::level(q);
+    const morton_t chain =
+        l == 0 ? 0 : (morton_t{1} << (R::dim * (l - 1))) - 1;
+    return l < 5 && R::level_index(q) == chain;
+  });
+  f.balance(BalanceKind::kFull);
+  ASSERT_TRUE(f.is_valid());
+  for (tree_id_t t = 0; t < f.num_trees(); ++t) {
+    ASSERT_EQ(f.tree_payloads(t).size(), f.tree_quadrants(t).size());
+    for (const std::uint64_t v : f.tree_payloads(t)) {
+      EXPECT_EQ(v, 7u);  // everything descends from the tagged root
+    }
+  }
+}
+
+TYPED_TEST(PayloadT, MixedAdaptationRoundsKeepAlignment) {
+  using R = TypeParam;
+  Xoshiro256 rng(555);
+  auto f = Forest<R>::new_uniform(Connectivity::unit(R::dim), 2);
+  f.enable_payload(1);
+  for (int round = 0; round < 4; ++round) {
+    f.refine(false, [&](tree_id_t, const typename R::quad_t& q) {
+      return R::level(q) < 6 && rng.next_bool(0.3);
+    });
+    f.coarsen(false, [&](tree_id_t, const typename R::quad_t*) {
+      return rng.next_bool(0.3);
+    });
+    f.balance(BalanceKind::kFace);
+    for (tree_id_t t = 0; t < f.num_trees(); ++t) {
+      ASSERT_EQ(f.tree_payloads(t).size(), f.tree_quadrants(t).size())
+          << "round " << round;
+    }
+    ASSERT_TRUE(f.is_valid());
+  }
+}
+
+TEST(PayloadDisabled, ForestWorksWithoutChannel) {
+  auto f = Forest<MortonRep<3>>::new_uniform(Connectivity::unit(3), 2);
+  EXPECT_FALSE(f.payload_enabled());
+  f.refine(false,
+           [](tree_id_t, const MortonRep<3>::quad_t&) { return true; });
+  EXPECT_TRUE(f.is_valid());
+}
+
+}  // namespace
+}  // namespace qforest

@@ -1,0 +1,277 @@
+/// \file test_quadrant_morton.cpp
+/// \brief Unit tests for the raw Morton index representation,
+/// paper §2.2 / Algorithms 4-8.
+
+#include <gtest/gtest.h>
+
+#include "core/quadrant_morton.hpp"
+#include "helpers.hpp"
+#include "util/random.hpp"
+
+namespace qforest {
+namespace {
+
+using M2 = MortonRep<2>;
+using M3 = MortonRep<3>;
+
+TEST(MortonLayout, StorageAndLimits) {
+  // Paper: 8 bytes per quadrant, max level 18 in 3D (same as original
+  // p4est) and 28 in 2D.
+  EXPECT_EQ(sizeof(M3::quad_t), 8u);
+  EXPECT_EQ(M3::max_level, 18);
+  EXPECT_EQ(M2::max_level, 28);
+  EXPECT_EQ(M3::index_bits, 54);
+  EXPECT_EQ(M2::index_bits, 56);
+}
+
+TEST(MortonAlgorithm4, ConstructionIsShiftAndOr) {
+  // Paper Algorithm 4: q = (l << 56) | (I_l << d(L-l)).
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 20000; ++i) {
+    const int lvl = static_cast<int>(rng.next_below(M3::max_level + 1));
+    const morton_t il = rng.next_below(morton_t{1} << (3 * lvl));
+    const auto q = M3::morton_quadrant(il, lvl);
+    EXPECT_EQ(q, (static_cast<std::uint64_t>(lvl) << 56) |
+                     (il << (3 * (M3::max_level - lvl))));
+    EXPECT_EQ(M3::level(q), lvl);
+    EXPECT_EQ(M3::level_index(q), il);
+    EXPECT_TRUE(M3::is_valid(q));
+  }
+}
+
+TEST(MortonLevel, AccessedByRightShift56) {
+  for (int lvl = 0; lvl <= M3::max_level; ++lvl) {
+    const auto q = M3::morton_quadrant(0, lvl);
+    EXPECT_EQ(q >> 56, static_cast<std::uint64_t>(lvl));
+  }
+}
+
+TEST(MortonAlgorithm5, SuccessorIsOneAddition) {
+  Xoshiro256 rng(32);
+  for (int i = 0; i < 20000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(M3::max_level));
+    const morton_t il =
+        rng.next_below((morton_t{1} << (3 * lvl)) - 1);
+    const auto q = M3::morton_quadrant(il, lvl);
+    const auto s = M3::successor(q);
+    EXPECT_EQ(s, q + (std::uint64_t{1} << (3 * (M3::max_level - lvl))));
+    EXPECT_EQ(M3::level_index(s), il + 1);
+    EXPECT_EQ(M3::level(s), lvl);
+    EXPECT_EQ(M3::predecessor(s), q);
+  }
+}
+
+TEST(MortonAlgorithm5, IsLastOfLevelGuard) {
+  const int lvl = 4;
+  const morton_t last = (morton_t{1} << (3 * lvl)) - 1;
+  EXPECT_TRUE(M3::is_last_of_level(M3::morton_quadrant(last, lvl)));
+  EXPECT_FALSE(M3::is_last_of_level(M3::morton_quadrant(last - 1, lvl)));
+  EXPECT_TRUE(M3::is_last_of_level(M3::root()));
+}
+
+TEST(MortonAlgorithm6, ChildDefinition21) {
+  Xoshiro256 rng(33);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = static_cast<int>(rng.next_below(M3::max_level));
+    const morton_t il = rng.next_below(morton_t{1} << (3 * lvl));
+    const auto q = M3::morton_quadrant(il, lvl);
+    for (int c = 0; c < 8; ++c) {
+      const auto ch = M3::child(q, c);
+      EXPECT_EQ(M3::level(ch), lvl + 1);
+      EXPECT_EQ(M3::level_index(ch), 8 * il + static_cast<morton_t>(c));
+      EXPECT_EQ(M3::child_id(ch), c);
+      EXPECT_EQ(M3::parent(ch), q);  // Algorithm 7 inverts Algorithm 6
+      EXPECT_TRUE(M3::is_ancestor(q, ch));
+    }
+  }
+}
+
+TEST(MortonAlgorithm7, ParentZeroesLevelBits) {
+  Xoshiro256 rng(34);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(M3::max_level));
+    const auto q = test::random_quadrant_at<M3>(rng, lvl);
+    const auto p = M3::parent(q);
+    EXPECT_EQ(M3::level(p), lvl - 1);
+    // Definition 2.5: I_{l-1} = (I_l - (I_l mod 2^d)) / 2^d.
+    EXPECT_EQ(M3::level_index(p), M3::level_index(q) / 8);
+  }
+}
+
+TEST(MortonSibling, Definition23) {
+  Xoshiro256 rng(35);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(M3::max_level));
+    const auto q = test::random_quadrant_at<M3>(rng, lvl);
+    const morton_t il = M3::level_index(q);
+    for (int s = 0; s < 8; ++s) {
+      const auto sib = M3::sibling(q, s);
+      EXPECT_EQ(M3::level_index(sib), il - il % 8 + static_cast<morton_t>(s));
+      EXPECT_EQ(M3::parent(sib), M3::parent(q));
+    }
+  }
+}
+
+TEST(MortonAlgorithm8, FaceNeighborMovesOneLength) {
+  Xoshiro256 rng(36);
+  int boundary_skips = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(M3::max_level));
+    const auto q = test::random_quadrant_at<M3>(rng, lvl);
+    int tb[3];
+    M3::tree_boundaries(q, tb);
+    for (int f = 0; f < 6; ++f) {
+      // Skip neighbors that would wrap across the unit tree boundary.
+      if (tb[f >> 1] == f) {
+        ++boundary_skips;
+        continue;
+      }
+      const auto n = M3::face_neighbor(q, f);
+      coord_t qx, qy, qz, nx, ny, nz;
+      int ql, nl;
+      M3::to_coords(q, qx, qy, qz, ql);
+      M3::to_coords(n, nx, ny, nz, nl);
+      EXPECT_EQ(nl, ql);
+      const coord_t h = M3::length(q);
+      const coord_t qc[3] = {qx, qy, qz};
+      const coord_t nc[3] = {nx, ny, nz};
+      for (int a = 0; a < 3; ++a) {
+        if (a == (f >> 1)) {
+          EXPECT_EQ(nc[a] - qc[a], (f & 1) ? h : -h);
+        } else {
+          EXPECT_EQ(nc[a], qc[a]);
+        }
+      }
+      // Inverse: crossing back restores q (Algorithm 8 is an involution
+      // with the opposite face).
+      EXPECT_EQ(M3::face_neighbor(n, f ^ 1), q);
+    }
+  }
+  EXPECT_GT(boundary_skips, 0);  // the sweep did exercise boundaries
+}
+
+TEST(MortonAlgorithm8, WrapsPeriodicallyAtBoundary) {
+  // At the lower x boundary, the -x neighbor wraps to the upper end.
+  const auto q = M3::morton_quadrant(0, 3);  // corner at origin
+  const auto n = M3::face_neighbor(q, 0);
+  coord_t x, y, z;
+  int lvl;
+  M3::to_coords(n, x, y, z, lvl);
+  EXPECT_EQ(x, (coord_t{1} << M3::max_level) - M3::length_at(3));
+  EXPECT_EQ(y, 0);
+  EXPECT_EQ(z, 0);
+}
+
+TEST(MortonTreeBoundaries, MatchesCoordinateDefinition) {
+  Xoshiro256 rng(37);
+  for (int i = 0; i < 20000; ++i) {
+    const auto q = test::random_quadrant<M3>(rng);
+    int got[3];
+    M3::tree_boundaries(q, got);
+    coord_t c[3];
+    int lvl;
+    M3::to_coords(q, c[0], c[1], c[2], lvl);
+    if (lvl == 0) {
+      for (int a = 0; a < 3; ++a) {
+        EXPECT_EQ(got[a], kBoundaryAll);
+      }
+      continue;
+    }
+    const coord_t up = (coord_t{1} << M3::max_level) - M3::length(q);
+    for (int a = 0; a < 3; ++a) {
+      const int want =
+          c[a] == 0 ? 2 * a : (c[a] == up ? 2 * a + 1 : kBoundaryNone);
+      EXPECT_EQ(got[a], want);
+    }
+  }
+}
+
+TEST(MortonCompare, IndexThenLevel) {
+  Xoshiro256 rng(38);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = test::random_quadrant<M3>(rng);
+    const auto b = test::random_quadrant<M3>(rng);
+    const bool lt = M3::less(a, b);
+    const bool gt = M3::less(b, a);
+    EXPECT_FALSE(lt && gt);
+    if (!lt && !gt) {
+      EXPECT_EQ(a, b);
+    }
+  }
+  // Ancestor precedes descendants.
+  const auto anc = M3::morton_quadrant(5, 4);
+  EXPECT_TRUE(M3::less(anc, M3::child(anc, 0)));
+  EXPECT_TRUE(M3::less(anc, M3::child(anc, 7)));
+}
+
+TEST(MortonAncestors, RoundTripThroughDescendants) {
+  Xoshiro256 rng(39);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(M3::max_level));
+    const auto q = test::random_quadrant_at<M3>(rng, lvl);
+    const int up = static_cast<int>(rng.next_below(lvl + 1));
+    const auto anc = M3::ancestor(q, up);
+    EXPECT_EQ(M3::level(anc), up);
+    EXPECT_EQ(M3::first_descendant(anc, lvl) <= q &&
+                  q <= M3::last_descendant(anc, lvl),
+              true);
+    EXPECT_TRUE(up == lvl ? anc == q : M3::is_ancestor(anc, q));
+  }
+}
+
+TEST(MortonValidity, RejectsBrokenWords) {
+  // Level beyond max.
+  EXPECT_FALSE(M3::is_valid(std::uint64_t{19} << 56));
+  // Index bits beyond d*L.
+  EXPECT_FALSE(M3::is_valid(std::uint64_t{1} << 55));
+  // Misaligned index for the level.
+  const auto q = M3::morton_quadrant(1, 3);
+  EXPECT_TRUE(M3::is_valid(q));
+  EXPECT_FALSE(M3::is_valid(q | 1u));
+}
+
+TEST(Morton2D, FullOpSweep) {
+  Xoshiro256 rng(40);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(M2::max_level));
+    const auto q = test::random_quadrant_at<M2>(rng, lvl);
+    EXPECT_TRUE(M2::is_valid(q));
+    EXPECT_EQ(M2::parent(M2::child(M2::parent(q), M2::child_id(q))),
+              M2::parent(q));
+    if (lvl < M2::max_level) {
+      for (int c = 0; c < 4; ++c) {
+        EXPECT_EQ(M2::parent(M2::child(q, c)), q);
+      }
+    }
+    int tb[2];
+    M2::tree_boundaries(q, tb);
+    for (int f = 0; f < 4; ++f) {
+      if (tb[f >> 1] == f) {
+        continue;
+      }
+      EXPECT_EQ(M2::face_neighbor(M2::face_neighbor(q, f), f ^ 1), q);
+    }
+  }
+}
+
+TEST(MortonCorner, DiagonalComposition) {
+  Xoshiro256 rng(41);
+  for (int i = 0; i < 5000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(M3::max_level));
+    const auto q = test::random_quadrant_at<M3>(rng, lvl);
+    int tb[3];
+    M3::tree_boundaries(q, tb);
+    // Use the interior-safe corner: move away from any touched boundary.
+    int c = 0;
+    for (int a = 0; a < 3; ++a) {
+      if (tb[a] == 2 * a) {
+        c |= 1 << a;  // at lower boundary: move up
+      }
+    }
+    const auto n = M3::corner_neighbor(q, c);
+    EXPECT_EQ(M3::corner_neighbor(n, c ^ 7), q);
+  }
+}
+
+}  // namespace
+}  // namespace qforest

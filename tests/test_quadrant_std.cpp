@@ -1,0 +1,323 @@
+/// \file test_quadrant_std.cpp
+/// \brief Unit tests for the standard (xyz + level) representation,
+/// including the paper's Algorithms 1-3 semantics.
+
+#include <gtest/gtest.h>
+
+#include "core/quadrant_std.hpp"
+#include "helpers.hpp"
+#include "util/random.hpp"
+
+namespace qforest {
+namespace {
+
+using R2 = StandardRep<2>;
+using R3 = StandardRep<3>;
+
+TEST(StandardLayout, PaperStorageSizes) {
+  // Paper §2.1: 24 bytes per octant in 3D (8 of which are payload).
+  EXPECT_EQ(sizeof(StandardQuadrant<3>), 24u);
+  EXPECT_EQ(sizeof(StandardQuadrant<2>), 24u);  // natural alignment in 2D
+}
+
+TEST(StandardRoot, Properties) {
+  const auto r = R3::root();
+  EXPECT_EQ(R3::level(r), 0);
+  EXPECT_EQ(R3::length(r), coord_t{1} << R3::max_level);
+  EXPECT_TRUE(R3::is_valid(r));
+  EXPECT_TRUE(R3::inside_root(r));
+}
+
+TEST(StandardMorton, Algorithm1KnownValues3D) {
+  // Level-1 index c yields the child c of the root: coordinates are the
+  // direction bits scaled to half the root length.
+  const coord_t h = R3::length_at(1);
+  for (int c = 0; c < 8; ++c) {
+    const auto q = R3::morton_quadrant(static_cast<morton_t>(c), 1);
+    EXPECT_EQ(q.x, (c & 1) ? h : 0);
+    EXPECT_EQ(q.y, (c & 2) ? h : 0);
+    EXPECT_EQ(q.z, (c & 4) ? h : 0);
+    EXPECT_EQ(R3::level(q), 1);
+  }
+}
+
+TEST(StandardMorton, PdepVariantAgreesWithAlgorithm1) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const int lvl = static_cast<int>(rng.next_below(22));
+    const morton_t il = rng.next_below(morton_t{1} << (3 * lvl));
+    EXPECT_TRUE(R3::equal(R3::morton_quadrant(il, lvl),
+                          R3::morton_quadrant_pdep(il, lvl)));
+  }
+  for (int i = 0; i < 20000; ++i) {
+    const int lvl = static_cast<int>(rng.next_below(30));
+    const morton_t il = rng.next_below(morton_t{1} << (2 * lvl));
+    EXPECT_TRUE(R2::equal(R2::morton_quadrant(il, lvl),
+                          R2::morton_quadrant_pdep(il, lvl)));
+  }
+}
+
+TEST(StandardMorton, RoundTripLevelIndex) {
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 20000; ++i) {
+    const int lvl = static_cast<int>(rng.next_below(22));
+    const morton_t il = rng.next_below(morton_t{1} << (3 * lvl));
+    const auto q = R3::morton_quadrant(il, lvl);
+    EXPECT_EQ(R3::level_index(q), il);
+    EXPECT_EQ(R3::level(q), lvl);
+    EXPECT_TRUE(R3::is_valid(q));
+  }
+}
+
+TEST(StandardChild, Algorithm2Definition21) {
+  // Definition 2.1: child index I_{l+1} = 2^d I_l + c.
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const int lvl = static_cast<int>(rng.next_below(20));
+    const morton_t il = rng.next_below(morton_t{1} << (3 * lvl));
+    const auto q = R3::morton_quadrant(il, lvl);
+    for (int c = 0; c < 8; ++c) {
+      const auto ch = R3::child(q, c);
+      EXPECT_EQ(R3::level(ch), lvl + 1);
+      EXPECT_EQ(R3::level_index(ch), 8 * il + static_cast<morton_t>(c));
+      EXPECT_EQ(R3::child_id(ch), c);
+      EXPECT_TRUE(R3::equal(R3::parent(ch), q));
+      EXPECT_TRUE(R3::is_ancestor(q, ch));
+    }
+  }
+}
+
+TEST(StandardChild, Property22ZeroChildSharesCorner) {
+  Xoshiro256 rng(14);
+  for (int i = 0; i < 5000; ++i) {
+    const auto q = test::random_quadrant<R3>(rng, 20);
+    const auto c0 = R3::child(q, 0);
+    EXPECT_EQ(c0.x, q.x);
+    EXPECT_EQ(c0.y, q.y);
+    EXPECT_EQ(c0.z, q.z);
+    EXPECT_EQ(R3::length(c0) * 2, R3::length(q));
+  }
+}
+
+TEST(StandardSibling, Algorithm3Definition23) {
+  // Definition 2.3: sibling index = I_l - (I_l mod 2^d) + s.
+  Xoshiro256 rng(15);
+  for (int i = 0; i < 5000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(20));
+    const morton_t il = rng.next_below(morton_t{1} << (3 * lvl));
+    const auto q = R3::morton_quadrant(il, lvl);
+    for (int s = 0; s < 8; ++s) {
+      const auto sib = R3::sibling(q, s);
+      EXPECT_EQ(R3::level(sib), lvl);
+      EXPECT_EQ(R3::level_index(sib), il - il % 8 + static_cast<morton_t>(s));
+      EXPECT_TRUE(R3::equal(R3::parent(sib), R3::parent(q)));
+      EXPECT_EQ(R3::child_id(sib), s);
+    }
+    // Sibling with the own child id is the identity.
+    EXPECT_TRUE(R3::equal(R3::sibling(q, R3::child_id(q)), q));
+  }
+}
+
+TEST(StandardSuccessor, MatchesIndexIncrement) {
+  Xoshiro256 rng(16);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(20));
+    const morton_t il =
+        rng.next_below((morton_t{1} << (3 * lvl)) - 1);  // not the last
+    const auto q = R3::morton_quadrant(il, lvl);
+    const auto s = R3::successor(q);
+    EXPECT_EQ(R3::level_index(s), il + 1);
+    EXPECT_TRUE(R3::equal(R3::predecessor(s), q));
+  }
+}
+
+TEST(StandardSuccessor, WrapsAtLastQuadrant) {
+  const int lvl = 3;
+  const morton_t last = (morton_t{1} << (3 * lvl)) - 1;
+  const auto q = R3::morton_quadrant(last, lvl);
+  const auto s = R3::successor(q);
+  EXPECT_EQ(R3::level_index(s), 0u);
+}
+
+TEST(StandardAncestorDescendant, Relations) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const int lvl = 2 + static_cast<int>(rng.next_below(18));
+    const auto q = test::random_quadrant_at<R3>(rng, lvl);
+    const int up = static_cast<int>(rng.next_below(lvl));
+    const auto anc = R3::ancestor(q, up);
+    EXPECT_EQ(R3::level(anc), up);
+    EXPECT_TRUE(up == lvl ? R3::equal(anc, q) : R3::is_ancestor(anc, q));
+    // First/last descendants of the ancestor bracket q in Morton order.
+    const auto fd = R3::first_descendant(anc, lvl);
+    const auto ld = R3::last_descendant(anc, lvl);
+    EXPECT_FALSE(R3::less(q, fd));
+    EXPECT_FALSE(R3::less(ld, q));
+    EXPECT_EQ(R3::level_index(ld) - R3::level_index(fd),
+              (morton_t{1} << (3 * (lvl - up))) - 1);
+  }
+}
+
+TEST(StandardFaceNeighbor, GeometryAndInverse) {
+  Xoshiro256 rng(18);
+  for (int i = 0; i < 5000; ++i) {
+    const auto q = test::random_quadrant<R3>(rng, 18);
+    const coord_t h = R3::length(q);
+    for (int f = 0; f < 6; ++f) {
+      const auto n = R3::face_neighbor(q, f);
+      EXPECT_EQ(R3::level(n), R3::level(q));
+      const coord_t expected_delta = (f & 1) ? h : -h;
+      const int axis = f >> 1;
+      EXPECT_EQ(R3::coord(n, axis) - R3::coord(q, axis), expected_delta);
+      for (int a = 0; a < 3; ++a) {
+        if (a != axis) {
+          EXPECT_EQ(R3::coord(n, a), R3::coord(q, a));
+        }
+      }
+      // Crossing back returns to q.
+      EXPECT_TRUE(R3::equal(R3::face_neighbor(n, f ^ 1), q));
+    }
+  }
+}
+
+TEST(StandardCornerNeighbor, Geometry) {
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 3000; ++i) {
+    const auto q = test::random_quadrant<R3>(rng, 18);
+    const coord_t h = R3::length(q);
+    for (int c = 0; c < 8; ++c) {
+      const auto n = R3::corner_neighbor(q, c);
+      EXPECT_EQ(n.x - q.x, (c & 1) ? h : -h);
+      EXPECT_EQ(n.y - q.y, (c & 2) ? h : -h);
+      EXPECT_EQ(n.z - q.z, (c & 4) ? h : -h);
+      // The diagonally opposite corner move returns.
+      EXPECT_TRUE(R3::equal(R3::corner_neighbor(n, c ^ 7), q));
+    }
+  }
+}
+
+TEST(StandardTreeBoundaries, EncodingMatchesAlgorithm12Spec) {
+  int f[3];
+  R3::tree_boundaries(R3::root(), f);
+  EXPECT_EQ(f[0], kBoundaryAll);
+  EXPECT_EQ(f[1], kBoundaryAll);
+  EXPECT_EQ(f[2], kBoundaryAll);
+
+  // Child 0 of root touches the lower faces in every direction.
+  R3::tree_boundaries(R3::child(R3::root(), 0), f);
+  EXPECT_EQ(f[0], 0);
+  EXPECT_EQ(f[1], 2);
+  EXPECT_EQ(f[2], 4);
+
+  // Child 7 touches the upper faces.
+  R3::tree_boundaries(R3::child(R3::root(), 7), f);
+  EXPECT_EQ(f[0], 1);
+  EXPECT_EQ(f[1], 3);
+  EXPECT_EQ(f[2], 5);
+
+  // An interior quadrant touches nothing.
+  const auto mid = R3::from_coords(R3::length_at(2), R3::length_at(2),
+                                   R3::length_at(2), 2);
+  R3::tree_boundaries(mid, f);
+  EXPECT_EQ(f[0], kBoundaryNone);
+  EXPECT_EQ(f[1], kBoundaryNone);
+  EXPECT_EQ(f[2], kBoundaryNone);
+}
+
+TEST(StandardCompare, MortonOrderMatchesIndexOrder) {
+  Xoshiro256 rng(20);
+  for (int i = 0; i < 20000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(20));
+    const auto a = test::random_quadrant_at<R3>(rng, lvl);
+    const auto b = test::random_quadrant_at<R3>(rng, lvl);
+    EXPECT_EQ(R3::less(a, b), R3::level_index(a) < R3::level_index(b));
+  }
+}
+
+TEST(StandardCompare, AncestorPrecedesDescendant) {
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(18));
+    const auto q = test::random_quadrant_at<R3>(rng, lvl);
+    const auto anc =
+        R3::ancestor(q, static_cast<int>(rng.next_below(lvl)));
+    EXPECT_TRUE(R3::less(anc, q));
+    EXPECT_FALSE(R3::less(q, anc));
+  }
+}
+
+TEST(StandardNca, IsDeepestCommonAncestor) {
+  Xoshiro256 rng(22);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = test::random_quadrant<R3>(rng, 18);
+    const auto b = test::random_quadrant<R3>(rng, 18);
+    const auto n = R3::nearest_common_ancestor(a, b);
+    EXPECT_TRUE(R3::equal(n, a) || R3::is_ancestor(n, a));
+    EXPECT_TRUE(R3::equal(n, b) || R3::is_ancestor(n, b));
+    if (R3::level(n) < R3::level(a) && R3::level(n) < R3::level(b)) {
+      // One level deeper must separate a and b.
+      const int la = R3::ancestor_id(a, R3::level(n) + 1);
+      const int lb = R3::ancestor_id(b, R3::level(n) + 1);
+      EXPECT_NE(la, lb);
+    }
+  }
+}
+
+TEST(StandardOverlaps, SiblingNeverOverlaps) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 5000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(18));
+    const auto q = test::random_quadrant_at<R3>(rng, lvl);
+    const int id = R3::child_id(q);
+    for (int s = 0; s < 8; ++s) {
+      EXPECT_EQ(R3::overlaps(q, R3::sibling(q, s)), s == id);
+    }
+    EXPECT_TRUE(R3::overlaps(q, R3::parent(q)));
+    EXPECT_TRUE(R3::overlaps(q, q));
+  }
+}
+
+TEST(Standard2D, ChildSiblingParentConsistency) {
+  Xoshiro256 rng(24);
+  for (int i = 0; i < 5000; ++i) {
+    const auto q = test::random_quadrant<R2>(rng, 25);
+    if (R2::level(q) >= R2::max_level) {
+      continue;
+    }
+    for (int c = 0; c < 4; ++c) {
+      const auto ch = R2::child(q, c);
+      EXPECT_TRUE(R2::equal(R2::parent(ch), q));
+      EXPECT_EQ(R2::child_id(ch), c);
+      for (int s = 0; s < 4; ++s) {
+        EXPECT_TRUE(R2::equal(R2::sibling(ch, s), R2::child(q, s)));
+      }
+    }
+  }
+}
+
+TEST(Standard2D, TreeBoundariesTwoDirections) {
+  int f[2];
+  R2::tree_boundaries(R2::root(), f);
+  EXPECT_EQ(f[0], kBoundaryAll);
+  EXPECT_EQ(f[1], kBoundaryAll);
+  R2::tree_boundaries(R2::child(R2::root(), 1), f);
+  EXPECT_EQ(f[0], 1);  // touches +x face
+  EXPECT_EQ(f[1], 2);  // touches -y face
+}
+
+TEST(StandardValidity, RejectsMisaligned) {
+  auto q = R3::from_coords(1, 0, 0, 1);  // x=1 not aligned to level-1 grid
+  EXPECT_FALSE(R3::is_valid(q));
+  q = R3::from_coords(0, 0, 0, 1);
+  EXPECT_TRUE(R3::is_valid(q));
+}
+
+TEST(StandardValidity, ExteriorDetected) {
+  const auto q = R3::from_coords(0, 0, 0, 1);
+  const auto n = R3::face_neighbor(q, 0);  // crosses -x out of the tree
+  EXPECT_FALSE(R3::inside_root(n));
+  EXPECT_TRUE(R3::inside_root(R3::face_neighbor(q, 1)));
+}
+
+}  // namespace
+}  // namespace qforest

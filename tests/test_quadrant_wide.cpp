@@ -1,0 +1,193 @@
+/// \file test_quadrant_wide.cpp
+/// \brief Unit tests for the 128-bit wide Morton representation (the
+/// paper's future-work combination of raw index + 128-bit registers),
+/// with emphasis on levels beyond the 32-bit coordinate limit.
+
+#include <gtest/gtest.h>
+
+#include "core/canonical.hpp"
+#include "core/quadrant_std.hpp"
+#include "core/quadrant_wide.hpp"
+#include "helpers.hpp"
+#include "util/random.hpp"
+
+namespace qforest {
+namespace {
+
+using W2 = WideMortonRep<2>;
+using W3 = WideMortonRep<3>;
+using S3 = StandardRep<3>;
+
+TEST(WideLayout, StorageAndLimits) {
+  EXPECT_EQ(sizeof(W3::quad_t), 16u);  // same footprint as the AVX rep
+  EXPECT_EQ(W3::max_level, 40);        // beyond standard's 29
+  EXPECT_EQ(W2::max_level, 60);
+}
+
+TEST(WideCoords, RoundTrip3D) {
+  Xoshiro256 rng(71);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = static_cast<int>(rng.next_below(W3::max_level + 1));
+    const auto hx = W3::length_at(lvl);
+    const std::int64_t x = static_cast<std::int64_t>(
+                               rng.next_below(std::uint64_t{1} << lvl)) * hx;
+    const std::int64_t y = static_cast<std::int64_t>(
+                               rng.next_below(std::uint64_t{1} << lvl)) * hx;
+    const std::int64_t z = static_cast<std::int64_t>(
+                               rng.next_below(std::uint64_t{1} << lvl)) * hx;
+    const auto q = W3::from_wide_coords(x, y, z, lvl);
+    std::int64_t rx, ry, rz;
+    int rl;
+    W3::to_wide_coords(q, rx, ry, rz, rl);
+    EXPECT_EQ(rx, x);
+    EXPECT_EQ(ry, y);
+    EXPECT_EQ(rz, z);
+    EXPECT_EQ(rl, lvl);
+    EXPECT_TRUE(W3::is_valid(q));
+  }
+}
+
+TEST(WideCoords, RoundTrip2DDeepLevels) {
+  Xoshiro256 rng(72);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = static_cast<int>(rng.next_below(W2::max_level + 1));
+    const auto h = W2::length_at(lvl);
+    const std::int64_t x = static_cast<std::int64_t>(
+                               rng.next_below(std::uint64_t{1} << lvl)) * h;
+    const std::int64_t y = static_cast<std::int64_t>(
+                               rng.next_below(std::uint64_t{1} << lvl)) * h;
+    const auto q = W2::from_wide_coords(x, y, 0, lvl);
+    std::int64_t rx, ry, rz;
+    int rl;
+    W2::to_wide_coords(q, rx, ry, rz, rl);
+    EXPECT_EQ(rx, x);
+    EXPECT_EQ(ry, y);
+    EXPECT_EQ(rl, lvl);
+  }
+}
+
+TEST(WideFamily, ChildParentSiblingDeep) {
+  Xoshiro256 rng(73);
+  for (int i = 0; i < 10000; ++i) {
+    // Deep levels: beyond what 32-bit coordinate reps can express.
+    const int lvl =
+        30 + static_cast<int>(rng.next_below(W3::max_level - 30));
+    std::int64_t c[3];
+    const auto h = W3::length_at(lvl);
+    for (auto& v : c) {
+      v = static_cast<std::int64_t>(rng.next_below(std::uint64_t{1} << lvl)) *
+          h;
+    }
+    const auto q = W3::from_wide_coords(c[0], c[1], c[2], lvl);
+    const auto p = W3::parent(q);
+    EXPECT_EQ(W3::level(p), lvl - 1);
+    EXPECT_TRUE(W3::is_ancestor(p, q));
+    EXPECT_EQ(W3::child(p, W3::child_id(q)), q);
+    for (int s = 0; s < 8; ++s) {
+      EXPECT_EQ(W3::parent(W3::sibling(q, s)), p);
+    }
+  }
+}
+
+TEST(WideSuccessor, OneAdditionDeep) {
+  Xoshiro256 rng(74);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = 1 + static_cast<int>(rng.next_below(W3::max_level));
+    // Exclude the last quadrant of the level (successor precondition).
+    const auto span = std::uint64_t{1} << std::min(60, 3 * lvl);
+    const auto q = W3::morton_quadrant(rng.next_below(span - 1), lvl);
+    const auto s = W3::successor(q);
+    EXPECT_EQ(W3::predecessor(s), q);
+    EXPECT_EQ(W3::level(s), lvl);
+  }
+}
+
+TEST(WideFaceNeighbor, InverseDeep) {
+  Xoshiro256 rng(75);
+  for (int i = 0; i < 10000; ++i) {
+    // Levels >= 2 so strictly interior positions exist.
+    const int lvl = 2 + static_cast<int>(rng.next_below(W3::max_level - 1));
+    std::int64_t c[3];
+    const auto h = W3::length_at(lvl);
+    for (auto& v : c) {
+      // Stay strictly interior so no wrap can occur.
+      v = (1 + static_cast<std::int64_t>(
+                   rng.next_below((std::uint64_t{1} << lvl) - 2))) * h;
+    }
+    const auto q = W3::from_wide_coords(c[0], c[1], c[2], lvl);
+    for (int f = 0; f < 6; ++f) {
+      const auto n = W3::face_neighbor(q, f);
+      EXPECT_EQ(W3::face_neighbor(n, f ^ 1), q);
+      std::int64_t nx, ny, nz;
+      int nl;
+      W3::to_wide_coords(n, nx, ny, nz, nl);
+      const std::int64_t nc[3] = {nx, ny, nz};
+      for (int a = 0; a < 3; ++a) {
+        const std::int64_t want =
+            a == (f >> 1) ? c[a] + ((f & 1) ? h : -h) : c[a];
+        EXPECT_EQ(nc[a], want);
+      }
+    }
+  }
+}
+
+TEST(WideTreeBoundaries, DeepLevels) {
+  // The far corner octant at level 40 touches the three upper faces.
+  const int lvl = W3::max_level;
+  const std::int64_t up = (std::int64_t{1} << lvl) - 1;
+  const auto h = W3::length_at(lvl);
+  const auto q = W3::from_wide_coords(up * h, up * h, up * h, lvl);
+  int f[3];
+  W3::tree_boundaries(q, f);
+  EXPECT_EQ(f[0], 1);
+  EXPECT_EQ(f[1], 3);
+  EXPECT_EQ(f[2], 5);
+}
+
+TEST(WideAgainstStandard, SharedLevelsAgree) {
+  Xoshiro256 rng(76);
+  for (int i = 0; i < 10000; ++i) {
+    const int lvl = static_cast<int>(rng.next_below(21));
+    const morton_t il = rng.next_below(morton_t{1} << (3 * lvl));
+    const auto w = W3::morton_quadrant(il, lvl);
+    const auto s = S3::morton_quadrant(il, lvl);
+    EXPECT_TRUE((test::canonically_equal<W3, S3>(w, s)));
+    EXPECT_EQ(W3::level_index(w), il);
+  }
+}
+
+TEST(WideCompare, OrderSweep) {
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = test::random_quadrant<W3>(rng);
+    const auto b = test::random_quadrant<W3>(rng);
+    const bool lt = W3::less(a, b);
+    const bool gt = W3::less(b, a);
+    EXPECT_FALSE(lt && gt);
+    if (!lt && !gt) {
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST(WideNca, DeepSeparation) {
+  Xoshiro256 rng(78);
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = test::random_quadrant<W3>(rng);
+    const auto b = test::random_quadrant<W3>(rng);
+    const auto n = W3::nearest_common_ancestor(a, b);
+    EXPECT_TRUE(n == a || W3::is_ancestor(n, a));
+    EXPECT_TRUE(n == b || W3::is_ancestor(n, b));
+  }
+}
+
+TEST(WideValidity, Rejections) {
+  EXPECT_FALSE(W3::is_valid(static_cast<W3::quad_t>(41) << 120));
+  EXPECT_TRUE(W3::is_valid(W3::root()));
+  const auto q = W3::morton_quadrant(3, 2);
+  EXPECT_TRUE(W3::is_valid(q));
+  EXPECT_FALSE(W3::is_valid(q | 1));
+}
+
+}  // namespace
+}  // namespace qforest

@@ -1,0 +1,151 @@
+/// \file test_sfc.cpp
+/// \brief Space-filling-curve abstraction tests: Morton identity
+/// properties and Hilbert bijectivity / adjacency / locality.
+
+#include <cstdlib>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/sfc/curve.hpp"
+#include "core/sfc/hilbert.hpp"
+#include "util/random.hpp"
+
+namespace qforest::sfc {
+namespace {
+
+TEST(MortonCurve, RoundTrip) {
+  Xoshiro256 rng(81);
+  for (int i = 0; i < 20000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next_below(1u << 20));
+    const auto y = static_cast<std::uint32_t>(rng.next_below(1u << 20));
+    const auto z = static_cast<std::uint32_t>(rng.next_below(1u << 20));
+    std::uint32_t rx, ry, rz;
+    MortonCurve::coords3(MortonCurve::index3(x, y, z, 20), 20, rx, ry, rz);
+    EXPECT_EQ(rx, x);
+    EXPECT_EQ(ry, y);
+    EXPECT_EQ(rz, z);
+    std::uint32_t qx, qy;
+    MortonCurve::coords2(MortonCurve::index2(x, y, 20), 20, qx, qy);
+    EXPECT_EQ(qx, x);
+    EXPECT_EQ(qy, y);
+  }
+}
+
+TEST(HilbertCurve, BijectiveExhaustive2D) {
+  for (int level = 1; level <= 6; ++level) {
+    const std::uint64_t n = 1ull << (2 * level);
+    std::set<std::uint64_t> seen;
+    for (std::uint32_t x = 0; x < (1u << level); ++x) {
+      for (std::uint32_t y = 0; y < (1u << level); ++y) {
+        const std::uint64_t d = HilbertCurve::index2(x, y, level);
+        ASSERT_LT(d, n);
+        seen.insert(d);
+        std::uint32_t rx, ry;
+        HilbertCurve::coords2(d, level, rx, ry);
+        ASSERT_EQ(rx, x);
+        ASSERT_EQ(ry, y);
+      }
+    }
+    EXPECT_EQ(seen.size(), n);
+  }
+}
+
+TEST(HilbertCurve, BijectiveExhaustive3D) {
+  for (int level = 1; level <= 4; ++level) {
+    const std::uint64_t n = 1ull << (3 * level);
+    std::set<std::uint64_t> seen;
+    for (std::uint32_t x = 0; x < (1u << level); ++x) {
+      for (std::uint32_t y = 0; y < (1u << level); ++y) {
+        for (std::uint32_t z = 0; z < (1u << level); ++z) {
+          const std::uint64_t d = HilbertCurve::index3(x, y, z, level);
+          ASSERT_LT(d, n);
+          seen.insert(d);
+          std::uint32_t rx, ry, rz;
+          HilbertCurve::coords3(d, level, rx, ry, rz);
+          ASSERT_EQ(rx, x);
+          ASSERT_EQ(ry, y);
+          ASSERT_EQ(rz, z);
+        }
+      }
+    }
+    EXPECT_EQ(seen.size(), n);
+  }
+}
+
+TEST(HilbertCurve, Adjacency2D) {
+  // Defining property Morton lacks: consecutive curve positions are
+  // face-adjacent grid cells.
+  const int level = 6;
+  std::uint32_t px, py;
+  HilbertCurve::coords2(0, level, px, py);
+  for (std::uint64_t d = 1; d < (1ull << (2 * level)); ++d) {
+    std::uint32_t x, y;
+    HilbertCurve::coords2(d, level, x, y);
+    const int manhattan = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                          std::abs(static_cast<int>(y) - static_cast<int>(py));
+    ASSERT_EQ(manhattan, 1) << "at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(HilbertCurve, Adjacency3D) {
+  const int level = 4;
+  std::uint32_t px, py, pz;
+  HilbertCurve::coords3(0, level, px, py, pz);
+  for (std::uint64_t d = 1; d < (1ull << (3 * level)); ++d) {
+    std::uint32_t x, y, z;
+    HilbertCurve::coords3(d, level, x, y, z);
+    const int manhattan =
+        std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+        std::abs(static_cast<int>(y) - static_cast<int>(py)) +
+        std::abs(static_cast<int>(z) - static_cast<int>(pz));
+    ASSERT_EQ(manhattan, 1) << "at d=" << d;
+    px = x;
+    py = y;
+    pz = z;
+  }
+}
+
+TEST(HilbertCurve, RandomRoundTripDeep) {
+  Xoshiro256 rng(82);
+  for (int i = 0; i < 20000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next_below(1u << 21));
+    const auto y = static_cast<std::uint32_t>(rng.next_below(1u << 21));
+    const auto z = static_cast<std::uint32_t>(rng.next_below(1u << 21));
+    std::uint32_t rx, ry, rz;
+    HilbertCurve::coords3(HilbertCurve::index3(x, y, z, 21), 21, rx, ry, rz);
+    ASSERT_EQ(rx, x);
+    ASSERT_EQ(ry, y);
+    ASSERT_EQ(rz, z);
+  }
+}
+
+TEST(HilbertCurve, MortonVsHilbertLocality) {
+  // The defining locality contrast: along Hilbert *every* pair of
+  // consecutive indices is grid-adjacent; along Morton only a fraction is
+  // (each carry past the lowest bit makes the curve jump).
+  const int level = 5;
+  const std::uint64_t n = 1ull << (2 * level);
+  std::uint64_t hilbert_adjacent = 0, morton_adjacent = 0;
+  for (std::uint64_t d = 0; d + 1 < n; ++d) {
+    std::uint32_t hx1, hy1, hx2, hy2, mx1, my1, mx2, my2;
+    HilbertCurve::coords2(d, level, hx1, hy1);
+    HilbertCurve::coords2(d + 1, level, hx2, hy2);
+    MortonCurve::coords2(d, level, mx1, my1);
+    MortonCurve::coords2(d + 1, level, mx2, my2);
+    const auto manhattan = [](std::uint32_t a, std::uint32_t b,
+                              std::uint32_t c, std::uint32_t e) {
+      return std::abs(static_cast<int>(a) - static_cast<int>(c)) +
+             std::abs(static_cast<int>(b) - static_cast<int>(e));
+    };
+    hilbert_adjacent += manhattan(hx1, hy1, hx2, hy2) == 1;
+    morton_adjacent += manhattan(mx1, my1, mx2, my2) == 1;
+  }
+  EXPECT_EQ(hilbert_adjacent, n - 1);  // Hilbert: always adjacent
+  EXPECT_LT(morton_adjacent, n - 1);   // Morton: jumps exist
+}
+
+}  // namespace
+}  // namespace qforest::sfc

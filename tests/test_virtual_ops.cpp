@@ -1,0 +1,129 @@
+/// \file test_virtual_ops.cpp
+/// \brief The runtime (vtable) interface must agree exactly with the
+/// compile-time traits it adapts.
+
+#include <gtest/gtest.h>
+
+#include "core/virtual_ops.hpp"
+#include "helpers.hpp"
+#include "util/random.hpp"
+
+namespace qforest {
+namespace {
+
+TEST(VirtualOps, RegistryNamesAndSizes) {
+  EXPECT_STREQ(virtual_ops(RepKind::kStandard, 3).name(), "standard");
+  EXPECT_STREQ(virtual_ops(RepKind::kMorton, 3).name(), "morton");
+  EXPECT_STREQ(virtual_ops(RepKind::kAvx, 3).name(), "avx");
+  EXPECT_STREQ(virtual_ops(RepKind::kWideMorton, 3).name(), "wide-morton");
+  EXPECT_EQ(virtual_ops(RepKind::kStandard, 3).storage_bytes(), 24u);
+  EXPECT_EQ(virtual_ops(RepKind::kMorton, 3).storage_bytes(), 8u);
+  EXPECT_EQ(virtual_ops(RepKind::kAvx, 3).storage_bytes(), 16u);
+  EXPECT_EQ(virtual_ops(RepKind::kWideMorton, 3).storage_bytes(), 16u);
+  EXPECT_EQ(virtual_ops(RepKind::kMorton, 2).dim(), 2);
+  EXPECT_EQ(virtual_ops(RepKind::kMorton, 3).max_level(), 18);
+}
+
+TEST(VirtualOps, KindParsingRoundTrip) {
+  for (const auto kind : {RepKind::kStandard, RepKind::kMorton, RepKind::kAvx,
+                          RepKind::kWideMorton}) {
+    EXPECT_EQ(rep_kind_from_string(rep_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(rep_kind_from_string("nonsense"), std::invalid_argument);
+  EXPECT_THROW(virtual_ops(RepKind::kStandard, 4), std::invalid_argument);
+}
+
+template <class R>
+void check_adapter_against_static(RepKind kind) {
+  const VirtualQuadrantOps& ops = virtual_ops(kind, R::dim);
+  using Adapter = VirtualOpsAdapter<R>;
+  Xoshiro256 rng(777);
+  for (int i = 0; i < 3000; ++i) {
+    const int cap = test::max_index_level<R>();
+    const int lvl = 1 + static_cast<int>(rng.next_below(
+                            static_cast<std::uint64_t>(cap)));
+    const morton_t il = rng.next_below(morton_t{1} << (R::dim * lvl));
+    const auto q = R::morton_quadrant(il, lvl);
+    const VQuad v = Adapter::box(q);
+
+    EXPECT_EQ(ops.level(v), R::level(q));
+    EXPECT_EQ(ops.level_index(v), R::level_index(q));
+    EXPECT_EQ(ops.child_id(v), R::child_id(q));
+    EXPECT_TRUE(R::equal(Adapter::unbox(ops.parent(v)), R::parent(q)));
+    if (lvl < R::max_level) {
+      for (int c = 0; c < (1 << R::dim); ++c) {
+        EXPECT_TRUE(
+            R::equal(Adapter::unbox(ops.child(v, c)), R::child(q, c)));
+      }
+    }
+    for (int s = 0; s < (1 << R::dim); ++s) {
+      EXPECT_TRUE(
+          R::equal(Adapter::unbox(ops.sibling(v, s)), R::sibling(q, s)));
+    }
+    int tb[3], ts[3];
+    ops.tree_boundaries(v, tb);
+    R::tree_boundaries(q, ts);
+    for (int d = 0; d < R::dim; ++d) {
+      EXPECT_EQ(tb[d], ts[d]);
+    }
+    const VQuad m = ops.morton_quadrant(il, lvl);
+    EXPECT_TRUE(ops.equal(m, v));
+    EXPECT_TRUE(ops.is_valid(v));
+    const auto q2 = test::random_quadrant<R>(rng, cap);
+    const VQuad v2 = Adapter::box(q2);
+    EXPECT_EQ(ops.less(v, v2), R::less(q, q2));
+    EXPECT_EQ(ops.is_ancestor(v, v2), R::is_ancestor(q, q2));
+  }
+}
+
+TEST(VirtualOps, StandardAdapterAgrees) {
+  check_adapter_against_static<StandardRep<3>>(RepKind::kStandard);
+  check_adapter_against_static<StandardRep<2>>(RepKind::kStandard);
+}
+
+TEST(VirtualOps, MortonAdapterAgrees) {
+  check_adapter_against_static<MortonRep<3>>(RepKind::kMorton);
+  check_adapter_against_static<MortonRep<2>>(RepKind::kMorton);
+}
+
+TEST(VirtualOps, AvxAdapterAgrees) {
+  check_adapter_against_static<AvxRep<3>>(RepKind::kAvx);
+  check_adapter_against_static<AvxRep<2>>(RepKind::kAvx);
+}
+
+TEST(VirtualOps, WideAdapterAgrees) {
+  check_adapter_against_static<WideMortonRep<3>>(RepKind::kWideMorton);
+  check_adapter_against_static<WideMortonRep<2>>(RepKind::kWideMorton);
+}
+
+TEST(VirtualOps, CrossRepresentationWorkflowAgrees) {
+  // A small high-level workflow (random tree walk) written purely against
+  // the virtual interface traces the identical (level, level_index)
+  // sequence for every representation — the virtualized-quadrant promise.
+  std::vector<std::pair<int, morton_t>> reference;
+  for (const auto kind : {RepKind::kStandard, RepKind::kMorton, RepKind::kAvx,
+                          RepKind::kWideMorton}) {
+    const VirtualQuadrantOps& ops = virtual_ops(kind, 3);
+    std::vector<std::pair<int, morton_t>> trace;
+    VQuad q = ops.root();
+    Xoshiro256 walk(999);
+    for (int step = 0; step < 200; ++step) {
+      if (ops.level(q) < 10 && walk.next_bool(0.7)) {
+        q = ops.child(q, static_cast<int>(walk.next_below(8)));
+      } else if (ops.level(q) > 0) {
+        q = walk.next_bool(0.5)
+                ? ops.parent(q)
+                : ops.sibling(q, static_cast<int>(walk.next_below(8)));
+      }
+      trace.emplace_back(ops.level(q), ops.level_index(q));
+    }
+    if (reference.empty()) {
+      reference = trace;
+    } else {
+      EXPECT_EQ(trace, reference) << "kind " << rep_kind_name(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qforest
