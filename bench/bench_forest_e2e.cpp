@@ -9,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "core/canonical.hpp"
 #include "core/quadrant_avx.hpp"
 #include "core/quadrant_morton.hpp"
@@ -31,23 +32,6 @@ struct E2EResult {
   double ghost_s;
   gidx_t leaves;
 };
-
-/// Refinement criterion: distance band around a sphere through the domain
-/// (a proxy for a shock front / interface an application tracks).
-template <class R>
-bool near_sphere(const typename R::quad_t& q) {
-  // Canonical coordinates are exact for every representation (the
-  // wide-morton grid exceeds 32-bit coordinates).
-  const CanonicalQuadrant c = to_canonical<R>(q);
-  const double scale = std::ldexp(1.0, kCanonicalLevel);
-  const double h = std::ldexp(1.0, kCanonicalLevel - c.level) / scale;
-  const double cx = static_cast<double>(c.x) / scale + h / 2;
-  const double cy = static_cast<double>(c.y) / scale + h / 2;
-  const double cz = static_cast<double>(c.z) / scale + h / 2;
-  const double dx = cx - 0.5, dy = cy - 0.5, dz = cz - 0.5;
-  const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
-  return std::abs(r - 0.35) < h;
-}
 
 template <class R>
 E2EResult run_e2e(int base_level, int max_depth, int ranks) {
@@ -117,6 +101,23 @@ int main(int argc, char** argv) {
                Table::fmt(static_cast<long long>(r.leaves))});
   }
   t.print();
+
+  BenchJson json;
+  for (const auto& r : results) {
+    const char* phases[] = {"create", "refine", "balance", "partition",
+                            "ghost"};
+    const double seconds[] = {r.create_s, r.refine_s, r.balance_s,
+                              r.partition_s, r.ghost_s};
+    for (int p = 0; p < 5; ++p) {
+      json.begin_record();
+      json.field("bench", "forest_e2e");
+      json.field("rep", r.name);
+      json.field("phase", phases[p]);
+      json.field("seconds", seconds[p]);
+      json.field("leaves", static_cast<long long>(r.leaves));
+    }
+  }
+  json.write("BENCH_forest_e2e.json");
 
   // All representations must agree on the refined mesh size: the
   // workflow is representation-independent by construction.

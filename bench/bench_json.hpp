@@ -1,0 +1,103 @@
+#pragma once
+/// \file bench_json.hpp
+/// \brief Minimal machine-readable benchmark output: every bench binary
+/// appends flat records and writes one JSON document, so the performance
+/// trajectory of the repo can be tracked run over run (CI archives the
+/// BENCH_*.json artifacts).
+///
+/// Format: {"schema": 1, "cpu": "...", "unix_time": N, "records": [{...}]}
+/// with records holding only strings, integers and doubles — trivially
+/// diffable and loadable from any plotting script.
+
+#include <cstdint>
+#include <cstdio>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "simd/feature_detect.hpp"
+
+namespace qforest::bench {
+
+/// Append-only JSON document of flat benchmark records.
+class BenchJson {
+ public:
+  void begin_record() {
+    records_.emplace_back();
+  }
+
+  void field(const char* key, const std::string& value) {
+    add(key, "\"" + escape(value) + "\"");
+  }
+  void field(const char* key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const char* key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    add(key, buf);
+  }
+  void field(const char* key, long long value) {
+    add(key, std::to_string(value));
+  }
+  void field(const char* key, std::size_t value) {
+    add(key, std::to_string(value));
+  }
+  void field(const char* key, bool value) {
+    add(key, value ? "true" : "false");
+  }
+
+  /// Write the document; returns false (and keeps quiet) on I/O failure so
+  /// benches never fail because a working directory is read-only.
+  bool write(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      return false;
+    }
+    std::string doc = "{\n  \"schema\": 1,\n  \"cpu\": \"" +
+                      escape(simd::feature_string()) +
+                      "\",\n  \"unix_time\": " +
+                      std::to_string(static_cast<long long>(
+                          std::time(nullptr))) +
+                      ",\n  \"records\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      doc += "    {";
+      for (std::size_t j = 0; j < records_[i].size(); ++j) {
+        doc += "\"" + records_[i][j].first +
+               "\": " + records_[i][j].second;
+        if (j + 1 < records_[i].size()) {
+          doc += ", ";
+        }
+      }
+      doc += i + 1 < records_.size() ? "},\n" : "}\n";
+    }
+    doc += "  ]\n}\n";
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (ok) {
+      std::printf("wrote %s (%zu records)\n", path, records_.size());
+    }
+    return ok;
+  }
+
+ private:
+  void add(const char* key, std::string json_value) {
+    records_.back().emplace_back(key, std::move(json_value));
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string r;
+    r.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        r += '\\';
+      }
+      r += c;
+    }
+    return r;
+  }
+
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
+
+}  // namespace qforest::bench

@@ -13,10 +13,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/quadrant_avx.hpp"
 #include "core/quadrant_morton.hpp"
 #include "core/quadrant_std.hpp"
@@ -70,6 +72,7 @@ void run_figure(const char* figure_id, const char* kernel_name,
   Table table({"tasks", "standard [s]", "morton-id [s]", "avx [s]",
                "morton-id boost %", "avx boost %"});
   RunningStats boost_m, boost_a;
+  BenchJson json;
   for (const int t : tasks) {
     const auto ps = par::run_strong_scaling(
         cfg.n, t, [&](std::size_t b, std::size_t e) { ks(ws, b, e); },
@@ -91,11 +94,29 @@ void run_figure(const char* figure_id, const char* kernel_name,
                    Table::fmt(pm.max_task_seconds, 6),
                    Table::fmt(pa.max_task_seconds, 6), Table::fmt(bm, 1),
                    Table::fmt(ba, 1)});
+    json.begin_record();
+    json.field("bench", figure_id);
+    json.field("kernel", kernel_name);
+    json.field("tasks", static_cast<long long>(t));
+    json.field("standard_seconds", ps.max_task_seconds);
+    json.field("morton_seconds", pm.max_task_seconds);
+    json.field("avx_seconds", pa.max_task_seconds);
+    json.field("morton_boost_percent", bm);
+    json.field("avx_boost_percent", ba);
   }
   table.print();
   std::printf("measured average boost vs standard: morton-id %+.1f%%, "
               "avx %+.1f%%\n\n",
               boost_m.mean(), boost_a.mean());
+  // "Figure 3" -> BENCH_figure_3.json
+  std::string fname = "BENCH_";
+  for (const char* p = figure_id; *p != '\0'; ++p) {
+    fname += *p == ' ' ? '_'
+                       : static_cast<char>(
+                             std::tolower(static_cast<unsigned char>(*p)));
+  }
+  fname += ".json";
+  json.write(fname.c_str());
 }
 
 /// Register the per-op micro benchmarks for one kernel with

@@ -6,10 +6,12 @@
 /// is called in a loop over the quadrants and its output is folded into a
 /// local sink variable "to prevent subsequent memory access".
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "core/canonical.hpp"
 #include "core/types.hpp"
 #include "util/random.hpp"
 
@@ -63,5 +65,24 @@ struct Workload {
     return w;
   }
 };
+
+/// Shared refinement criterion of the forest benches: a distance band
+/// around a sphere through the domain (a proxy for a shock front /
+/// interface an application tracks). Canonical coordinates are exact for
+/// every representation (the wide-morton grid exceeds 32-bit coordinates).
+/// Keep this the single definition — the e2e and batch ablations must
+/// measure the same mesh for their BENCH_*.json files to be comparable.
+template <class R>
+bool near_sphere(const typename R::quad_t& q) {
+  const CanonicalQuadrant c = to_canonical<R>(q);
+  const double scale = std::ldexp(1.0, kCanonicalLevel);
+  const double h = std::ldexp(1.0, kCanonicalLevel - c.level) / scale;
+  const double cx = static_cast<double>(c.x) / scale + h / 2;
+  const double cy = static_cast<double>(c.y) / scale + h / 2;
+  const double cz = static_cast<double>(c.z) / scale + h / 2;
+  const double dx = cx - 0.5, dy = cy - 0.5, dz = cz - 0.5;
+  const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+  return std::abs(r - 0.35) < h;
+}
 
 }  // namespace qforest::bench

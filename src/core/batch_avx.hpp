@@ -12,6 +12,7 @@
 /// them. A scalar tail and a full scalar fallback keep the API portable.
 
 #include <cstddef>
+#include <cstdint>
 
 #include "core/quadrant_avx.hpp"
 #include "simd/vec128.hpp"
@@ -129,6 +130,170 @@ class AvxBatch {
     (void)level;
     for (std::size_t i = 0; i < n; ++i) {
       out[i] = rep::face_neighbor(in[i], f);
+    }
+#endif
+  }
+
+  /// out[i] = sibling(in[i], s) for a uniform sibling id s; all inputs
+  /// share \p level > 0. One andnot + or per pair: clear the direction
+  /// bit in every coordinate lane, then OR in the sibling's bits.
+  static void sibling_uniform(const quad_t* in, quad_t* out, std::size_t n,
+                              int s, int level) {
+#if QFOREST_HAVE_AVX2
+    const int shift = rep::max_level - level;
+    const auto h = static_cast<int>(
+        static_cast<std::uint32_t>(rep::length_at(level)));
+    const __m128i extid128 = _mm_and_si128(
+        _mm_set_epi32(0, 4, 2, 1), _mm_set1_epi32(s));
+    const __m128i insid128 =
+        _mm_srlv_epi32(extid128, _mm_set_epi32(0, 2, 1, 0));
+    const __m256i setbits = _mm256_slli_epi32(
+        _mm256_broadcastsi128_si256(insid128), shift);
+    const __m256i clear = _mm256_broadcastsi128_si256(
+        _mm_set_epi32(0, h, h, h));
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const __m256i pair = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(&in[i]));
+      const __m256i r =
+          _mm256_or_si256(_mm256_andnot_si256(clear, pair), setbits);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(&out[i]), r);
+    }
+    for (; i < n; ++i) {
+      out[i] = rep::sibling(in[i], s);
+    }
+#else
+    (void)level;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = rep::sibling(in[i], s);
+    }
+#endif
+  }
+
+  /// out[i] = first_descendant(in[i], to_level): replace the level lane,
+  /// coordinates unchanged. Inputs may be of mixed levels <= to_level.
+  static void first_descendant_n(const quad_t* in, quad_t* out,
+                                 std::size_t n, int to_level) {
+#if QFOREST_HAVE_AVX2
+    const __m256i coord_keep = _mm256_broadcastsi128_si256(
+        _mm_set_epi32(0, -1, -1, -1));
+    const __m256i levelvec = _mm256_broadcastsi128_si256(
+        _mm_set_epi32(to_level, 0, 0, 0));
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const __m256i pair = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(&in[i]));
+      const __m256i r =
+          _mm256_or_si256(_mm256_and_si256(pair, coord_keep), levelvec);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(&out[i]), r);
+    }
+    for (; i < n; ++i) {
+      out[i] = rep::first_descendant(in[i], to_level);
+    }
+#else
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = rep::first_descendant(in[i], to_level);
+    }
+#endif
+  }
+
+  /// out[i] = last_descendant(in[i], to_level); all inputs share \p level.
+  static void last_descendant_n(const quad_t* in, quad_t* out,
+                                std::size_t n, int level, int to_level) {
+#if QFOREST_HAVE_AVX2
+    const auto delta = static_cast<int>(static_cast<std::uint32_t>(
+        rep::length_at(level) - rep::length_at(to_level)));
+    const __m256i add = _mm256_broadcastsi128_si256(
+        _mm_set_epi32(0, delta, delta, delta));
+    const __m256i coord_keep = _mm256_broadcastsi128_si256(
+        _mm_set_epi32(0, -1, -1, -1));
+    const __m256i levelvec = _mm256_broadcastsi128_si256(
+        _mm_set_epi32(to_level, 0, 0, 0));
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const __m256i pair = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(&in[i]));
+      const __m256i sum = _mm256_add_epi32(pair, add);
+      const __m256i r =
+          _mm256_or_si256(_mm256_and_si256(sum, coord_keep), levelvec);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(&out[i]), r);
+    }
+    for (; i < n; ++i) {
+      out[i] = rep::last_descendant(in[i], to_level);
+    }
+#else
+    (void)level;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = rep::last_descendant(in[i], to_level);
+    }
+#endif
+  }
+
+  // Note: successor (data-dependent carry chain) and less (branchy
+  // most-significant-differing-bit rule) have no lane-parallel form; the
+  // dispatch layer (BatchOps<AvxRep>) routes successor_n and less_mask to
+  // the shared scalar bodies directly, so AvxBatch has no entry points
+  // for them.
+
+  /// out[i] = child_id(in[i]); all inputs share \p level > 0. One AND +
+  /// compare + byte movemask yields the direction bits of two quadrants.
+  static void child_id_n(const quad_t* in, int* out, std::size_t n,
+                         int level) {
+#if QFOREST_HAVE_AVX2
+    const auto h = static_cast<int>(
+        static_cast<std::uint32_t>(rep::length_at(level)));
+    const __m256i hvec = _mm256_broadcastsi128_si256(
+        _mm_set_epi32(0, h, h, h));
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const __m256i pair = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(&in[i]));
+      const __m256i hit =
+          _mm256_cmpeq_epi32(_mm256_and_si256(pair, hvec), hvec);
+      const auto m = static_cast<std::uint32_t>(_mm256_movemask_epi8(hit));
+      for (int half = 0; half < 2; ++half) {
+        const std::uint32_t mh = m >> (16 * half);
+        int id = (mh & 0x1u) ? 1 : 0;
+        id |= (mh & 0x10u) ? 2 : 0;
+        if constexpr (Dim == 3) {
+          id |= (mh & 0x100u) ? 4 : 0;
+        }
+        out[i + static_cast<std::size_t>(half)] = id;
+      }
+    }
+    for (; i < n; ++i) {
+      out[i] = rep::child_id(in[i]);
+    }
+#else
+    (void)level;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = rep::child_id(in[i]);
+    }
+#endif
+  }
+
+  /// out[i] = equal(a[i], b[i]) as 0/1 bytes; levels may be mixed (the
+  /// comparator of dedup sweeps over sorted leaf arrays).
+  static void equal_mask(const quad_t* a, const quad_t* b,
+                         std::uint8_t* out, std::size_t n) {
+#if QFOREST_HAVE_AVX2
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const __m256i pa = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(&a[i]));
+      const __m256i pb = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(&b[i]));
+      const auto m = static_cast<std::uint32_t>(
+          _mm256_movemask_epi8(_mm256_cmpeq_epi32(pa, pb)));
+      out[i] = (m & 0xFFFFu) == 0xFFFFu ? 1 : 0;
+      out[i + 1] = (m >> 16) == 0xFFFFu ? 1 : 0;
+    }
+    for (; i < n; ++i) {
+      out[i] = rep::equal(a[i], b[i]) ? 1 : 0;
+    }
+#else
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = rep::equal(a[i], b[i]) ? 1 : 0;
     }
 #endif
   }

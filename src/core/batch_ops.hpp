@@ -1,0 +1,260 @@
+#pragma once
+/// \file batch_ops.hpp
+/// \brief BatchOps<R>: the batched counterpart of the QuadrantRepresentation
+/// concept — the dispatch seam between high-level AMR loops and SIMD batch
+/// kernels.
+///
+/// The paper's observation is that vectorized quadrant primitives pay off
+/// when high-level loops consume them in bulk: refine produces all children
+/// of a level-uniform span, coarsen takes all parents, balance splits whole
+/// marked sets. BatchOps<R> is the customization point those loops are
+/// written against, exactly once:
+///
+///   - the primary template is a generic scalar loop over the scalar
+///     R::child / R::parent / ... ops and works for every representation
+///     satisfying QuadrantRepresentation (Standard, Morton, Wide, ...);
+///   - the AvxRep specialization forwards to the 256-bit AVX2 kernels of
+///     AvxBatch (core/batch_avx.hpp) when the build compiled them in AND
+///     the executing CPU advertises AVX2 (simd/feature_detect) — non-AVX
+///     hosts transparently take the scalar path;
+///   - future backends (AVX-512, NEON, GPU staging buffers) plug in as
+///     further specializations without touching the forest layer.
+///
+/// All *_uniform/_n entry points require the inputs of one call to share a
+/// single refinement level (stated per op); level-uniform spans arise
+/// naturally when the forest stages its per-level work lists. in == out
+/// aliasing is allowed (pure load-compute-store loops); a == b aliasing of
+/// the comparator inputs likewise, including the off-by-one overlap of
+/// adjacent-pair sweeps (each element is read before any store).
+///
+/// The runtime kill switch (QFOREST_NO_BATCH / batch::set_enabled) exists
+/// so benches can measure batched against scalar dispatch in one binary.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+#include "core/batch_avx.hpp"
+#include "core/quadrant_avx.hpp"
+#include "core/rep_traits.hpp"
+#include "simd/feature_detect.hpp"
+
+namespace qforest {
+
+namespace batch {
+
+/// Process-wide batch-kernel switch: defaults to on, disabled by setting
+/// the environment variable QFOREST_NO_BATCH or calling set_enabled(false).
+/// Affects only which kernel body runs — results are bit-identical.
+inline bool& enabled_flag() {
+  static bool flag = std::getenv("QFOREST_NO_BATCH") == nullptr;
+  return flag;
+}
+inline bool enabled() { return enabled_flag(); }
+inline void set_enabled(bool on) { enabled_flag() = on; }
+
+}  // namespace batch
+
+/// Generic scalar bodies, shared by the primary template and by the SIMD
+/// specializations as their portable fallback path.
+template <class R>
+struct ScalarBatch {
+  using quad_t = typename R::quad_t;
+
+  static void child_uniform(const quad_t* in, quad_t* out, std::size_t n,
+                            int c, int /*level*/) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = R::child(in[i], c);
+    }
+  }
+
+  static void parent_uniform(const quad_t* in, quad_t* out, std::size_t n,
+                             int /*level*/) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = R::parent(in[i]);
+    }
+  }
+
+  static void sibling_uniform(const quad_t* in, quad_t* out, std::size_t n,
+                              int s, int /*level*/) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = R::sibling(in[i], s);
+    }
+  }
+
+  static void face_neighbor_uniform(const quad_t* in, quad_t* out,
+                                    std::size_t n, int f, int /*level*/) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = R::face_neighbor(in[i], f);
+    }
+  }
+
+  static void successor_n(const quad_t* in, quad_t* out, std::size_t n,
+                          int /*level*/) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = R::successor(in[i]);
+    }
+  }
+
+  static void first_descendant_n(const quad_t* in, quad_t* out,
+                                 std::size_t n, int to_level) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = R::first_descendant(in[i], to_level);
+    }
+  }
+
+  static void last_descendant_n(const quad_t* in, quad_t* out,
+                                std::size_t n, int /*level*/, int to_level) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = R::last_descendant(in[i], to_level);
+    }
+  }
+
+  static void child_id_n(const quad_t* in, int* out, std::size_t n,
+                         int /*level*/) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = R::child_id(in[i]);
+    }
+  }
+
+  static void equal_mask(const quad_t* a, const quad_t* b,
+                         std::uint8_t* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = R::equal(a[i], b[i]) ? 1 : 0;
+    }
+  }
+
+  static void less_mask(const quad_t* a, const quad_t* b, std::uint8_t* out,
+                        std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = R::less(a[i], b[i]) ? 1 : 0;
+    }
+  }
+};
+
+/// Primary template: every representation gets the scalar-loop bodies.
+/// Operation contract (shared by all specializations):
+///   child_uniform(in, out, n, c, level)       out[i] = child(in[i], c)
+///   parent_uniform(in, out, n, level)         out[i] = parent(in[i])
+///   sibling_uniform(in, out, n, s, level)     out[i] = sibling(in[i], s)
+///   face_neighbor_uniform(in, out, n, f, l)   out[i] = face_neighbor(in[i], f)
+///   successor_n(in, out, n, level)            out[i] = successor(in[i])
+///   first_descendant_n(in, out, n, to)        out[i] = first_descendant(in[i], to)
+///   last_descendant_n(in, out, n, level, to)  out[i] = last_descendant(in[i], to)
+///   child_id_n(in, out, n, level)             out[i] = child_id(in[i])
+///   equal_mask(a, b, out, n)                  out[i] = equal(a[i], b[i])
+///   less_mask(a, b, out, n)                   out[i] = less(a[i], b[i])
+/// `level` is the uniform level of every element of `in` (callers stage
+/// level-uniform spans); first_descendant_n, equal_mask and less_mask
+/// accept mixed levels.
+template <class R>
+  requires QuadrantRepresentation<R>
+struct BatchOps : ScalarBatch<R> {
+  /// True when this instantiation can route to real SIMD batch kernels.
+  static constexpr bool has_simd_kernels = false;
+  /// True when calls will actually take the SIMD path right now.
+  static bool simd_active() { return false; }
+};
+
+/// AvxRep routes to the 256-bit kernels, gated at runtime by cpuid and the
+/// batch kill switch. The gate decides per call, so one binary can compare
+/// both paths and a build running on a weaker CPU degrades safely.
+template <int Dim>
+struct BatchOps<AvxRep<Dim>> {
+  using R = AvxRep<Dim>;
+  using quad_t = typename R::quad_t;
+  using simd_kernels = AvxBatch<Dim>;
+  using scalar_kernels = ScalarBatch<R>;
+
+  static constexpr bool has_simd_kernels = simd_kernels::vectorized();
+
+  static bool simd_active() {
+    return has_simd_kernels && batch::enabled() && simd::avx2_usable();
+  }
+
+  static void child_uniform(const quad_t* in, quad_t* out, std::size_t n,
+                            int c, int level) {
+    if (simd_active()) {
+      simd_kernels::child_uniform(in, out, n, c, level);
+    } else {
+      scalar_kernels::child_uniform(in, out, n, c, level);
+    }
+  }
+
+  static void parent_uniform(const quad_t* in, quad_t* out, std::size_t n,
+                             int level) {
+    if (simd_active()) {
+      simd_kernels::parent_uniform(in, out, n, level);
+    } else {
+      scalar_kernels::parent_uniform(in, out, n, level);
+    }
+  }
+
+  static void sibling_uniform(const quad_t* in, quad_t* out, std::size_t n,
+                              int s, int level) {
+    if (simd_active()) {
+      simd_kernels::sibling_uniform(in, out, n, s, level);
+    } else {
+      scalar_kernels::sibling_uniform(in, out, n, s, level);
+    }
+  }
+
+  static void face_neighbor_uniform(const quad_t* in, quad_t* out,
+                                    std::size_t n, int f, int level) {
+    if (simd_active()) {
+      simd_kernels::face_neighbor_uniform(in, out, n, f, level);
+    } else {
+      scalar_kernels::face_neighbor_uniform(in, out, n, f, level);
+    }
+  }
+
+  static void successor_n(const quad_t* in, quad_t* out, std::size_t n,
+                          int level) {
+    // Carry chain: scalar on every path (no lane-parallel form).
+    scalar_kernels::successor_n(in, out, n, level);
+  }
+
+  static void first_descendant_n(const quad_t* in, quad_t* out,
+                                 std::size_t n, int to_level) {
+    if (simd_active()) {
+      simd_kernels::first_descendant_n(in, out, n, to_level);
+    } else {
+      scalar_kernels::first_descendant_n(in, out, n, to_level);
+    }
+  }
+
+  static void last_descendant_n(const quad_t* in, quad_t* out,
+                                std::size_t n, int level, int to_level) {
+    if (simd_active()) {
+      simd_kernels::last_descendant_n(in, out, n, level, to_level);
+    } else {
+      scalar_kernels::last_descendant_n(in, out, n, level, to_level);
+    }
+  }
+
+  static void child_id_n(const quad_t* in, int* out, std::size_t n,
+                         int level) {
+    if (simd_active()) {
+      simd_kernels::child_id_n(in, out, n, level);
+    } else {
+      scalar_kernels::child_id_n(in, out, n, level);
+    }
+  }
+
+  static void equal_mask(const quad_t* a, const quad_t* b,
+                         std::uint8_t* out, std::size_t n) {
+    if (simd_active()) {
+      simd_kernels::equal_mask(a, b, out, n);
+    } else {
+      scalar_kernels::equal_mask(a, b, out, n);
+    }
+  }
+
+  static void less_mask(const quad_t* a, const quad_t* b, std::uint8_t* out,
+                        std::size_t n) {
+    // Branchy MSB rule: scalar on every path (no lane-parallel form).
+    scalar_kernels::less_mask(a, b, out, n);
+  }
+};
+
+}  // namespace qforest

@@ -14,23 +14,74 @@
 /// Parallel semantics: the forest holds the global leaf sequence in shared
 /// memory and maintains a partition of the global Morton order into
 /// contiguous rank ranges (DESIGN.md §4 explains this MPI substitution).
+///
+/// Bulk quadrant production (refine waves, coarsen family sweeps, balance
+/// splitting) never calls the scalar per-quadrant ops directly: marked
+/// leaves are staged into level-uniform spans and dispatched through
+/// BatchOps<R> (core/batch_ops.hpp), so representations with SIMD batch
+/// kernels consume them register-parallel while every other representation
+/// takes the generic scalar loop. The per-tree outer loops of the
+/// adaptation algorithms run on the shared forest thread pool; user
+/// callbacks must therefore be safe to invoke concurrently for *different*
+/// trees (per-tree invocations stay ordered, and single-tree forests are
+/// processed inline on the calling thread). Callbacks that mutate shared
+/// state can opt out via set_tree_parallelism(false) or the
+/// QFOREST_SERIAL_TREES environment variable; reentrant forest operations
+/// from inside a callback always run their tree loop inline.
 
 #include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <vector>
 
+#include "core/batch_ops.hpp"
 #include "core/canonical.hpp"
 #include "core/rep_traits.hpp"
 #include "core/types.hpp"
 #include "forest/connectivity.hpp"
 #include "par/communicator.hpp"
+#include "par/thread_pool.hpp"
 
 namespace qforest {
+
+namespace detail {
+/// Worker pool shared by the per-tree loops of every Forest instantiation;
+/// created on first use, sized to the hardware concurrency.
+inline par::ThreadPool& forest_pool() {
+  static par::ThreadPool pool;
+  return pool;
+}
+
+/// True on threads currently executing a forest-pool task. Reentrant
+/// forest operations (a callback that adapts another forest) run their
+/// per-tree loop inline instead of re-entering the pool, which would
+/// deadlock wait_idle.
+inline bool& on_forest_worker() {
+  thread_local bool flag = false;
+  return flag;
+}
+
+inline bool& tree_parallel_flag() {
+  static bool flag = std::getenv("QFOREST_SERIAL_TREES") == nullptr;
+  return flag;
+}
+}  // namespace detail
+
+/// Process-wide switch for the per-tree parallelism of refine / coarsen /
+/// balance. Defaults to on; disable (or set the QFOREST_SERIAL_TREES
+/// environment variable) when adaptation callbacks mutate shared state
+/// without synchronization on multi-tree forests.
+inline void set_tree_parallelism(bool on) {
+  detail::tree_parallel_flag() = on;
+}
+inline bool tree_parallelism() { return detail::tree_parallel_flag(); }
 
 /// Which neighbor relations the 2:1 balance constraint covers.
 enum class BalanceKind {
@@ -176,52 +227,43 @@ class Forest {
   /// Refine leaves for which \p should_refine(tree, quad) returns true.
   /// With \p recursive, children are re-examined until the callback
   /// declines or max_level is reached (p4est refine semantics).
+  ///
+  /// Implementation: wave-based. Each wave marks the leaves to split (the
+  /// whole tree on the first wave, only the previous wave's children
+  /// afterwards — the same quadrants the recursive descent would visit),
+  /// then produces all children in level-uniform batches through
+  /// BatchOps<R>. Trees are processed in parallel on the forest pool.
   template <class Fn>
   void refine(bool recursive, Fn&& should_refine) {
-    for (tree_id_t t = 0; t < num_trees(); ++t) {
-      auto& tree = trees_[static_cast<std::size_t>(t)];
-      std::vector<quad_t> out;
-      out.reserve(tree.size());
-      std::vector<std::uint64_t> out_payload;
-      std::vector<quad_t> stack;
-      for (std::size_t qi = 0; qi < tree.size(); ++qi) {
-        const quad_t& q = tree[qi];
-        const std::uint64_t pl =
-            payload_enabled_ ? payloads_[static_cast<std::size_t>(t)][qi]
-                             : 0;
-        if (R::level(q) >= R::max_level || !should_refine(t, q)) {
-          out.push_back(q);
-          if (payload_enabled_) {
-            out_payload.push_back(pl);
-          }
-          continue;
-        }
-        stack.clear();
-        stack.push_back(q);
-        while (!stack.empty()) {
-          const quad_t cur = stack.back();
-          stack.pop_back();
-          const bool split = R::level(cur) < R::max_level &&
-                             (R::equal(cur, q) ||
-                              (recursive && should_refine(t, cur)));
-          if (!split) {
-            out.push_back(cur);
-            if (payload_enabled_) {
-              out_payload.push_back(pl);  // children inherit the parent's
-            }
+    for_each_tree([&](std::size_t ti) {
+      const auto t = static_cast<tree_id_t>(ti);
+      auto& tree = trees_[ti];
+      auto* pay = payload_enabled_ ? &payloads_[ti] : nullptr;
+      // 1 where the callback still has to be consulted this wave.
+      std::vector<std::uint8_t> consider(tree.size(), 1);
+      std::vector<std::uint8_t> split;
+      while (true) {
+        split.assign(tree.size(), 0);
+        bool any = false;
+        for (std::size_t i = 0; i < tree.size(); ++i) {
+          if (!consider[i]) {
             continue;
           }
-          // Push children in reverse so they pop in Morton order.
-          for (int c = dims::num_children - 1; c >= 0; --c) {
-            stack.push_back(R::child(cur, c));
+          const quad_t& q = tree[i];
+          if (R::level(q) < R::max_level && should_refine(t, q)) {
+            split[i] = 1;
+            any = true;
           }
         }
+        if (!any) {
+          break;
+        }
+        apply_splits(tree, pay, split, recursive ? &consider : nullptr);
+        if (!recursive) {
+          break;
+        }
       }
-      tree = std::move(out);
-      if (payload_enabled_) {
-        payloads_[static_cast<std::size_t>(t)] = std::move(out_payload);
-      }
-    }
+    });
     rebuild_offsets();
     partition();
   }
@@ -231,46 +273,19 @@ class Forest {
   /// Replace complete sibling families accepted by
   /// \p should_coarsen(tree, family-pointer) with their parent. With
   /// \p recursive, passes repeat until no family is coarsened.
+  ///
+  /// Implementation: each pass precomputes every leaf's parent and child
+  /// id in level-uniform batches through BatchOps<R> plus one batched
+  /// adjacent-parent equality sweep, so the family-detection scan touches
+  /// no scalar quadrant ops. Trees run in parallel on the forest pool
+  /// (coarsening never crosses tree boundaries).
   template <class Fn>
   void coarsen(bool recursive, Fn&& should_coarsen) {
-    bool changed_any = true;
-    while (changed_any) {
-      changed_any = false;
-      for (tree_id_t t = 0; t < num_trees(); ++t) {
-        auto& tree = trees_[static_cast<std::size_t>(t)];
-        std::vector<quad_t> out;
-        out.reserve(tree.size());
-        std::vector<std::uint64_t> out_payload;
-        std::size_t i = 0;
-        while (i < tree.size()) {
-          if (is_family_at(tree, i) &&
-              should_coarsen(t, tree.data() + i)) {
-            out.push_back(R::parent(tree[i]));
-            if (payload_enabled_) {
-              // The parent takes the first child's payload.
-              out_payload.push_back(
-                  payloads_[static_cast<std::size_t>(t)][i]);
-            }
-            i += dims::num_children;
-            changed_any = true;
-          } else {
-            out.push_back(tree[i]);
-            if (payload_enabled_) {
-              out_payload.push_back(
-                  payloads_[static_cast<std::size_t>(t)][i]);
-            }
-            ++i;
-          }
-        }
-        tree = std::move(out);
-        if (payload_enabled_) {
-          payloads_[static_cast<std::size_t>(t)] = std::move(out_payload);
-        }
+    for_each_tree([&](std::size_t ti) {
+      CoarsenScratch scratch;  // reused across recursive passes
+      while (coarsen_tree_pass(ti, should_coarsen, scratch) && recursive) {
       }
-      if (!recursive) {
-        break;
-      }
-    }
+    });
     rebuild_offsets();
     partition();
   }
@@ -279,6 +294,10 @@ class Forest {
 
   /// Enforce the 2:1 level condition across the chosen neighbor relations
   /// (including across tree faces) by iterated splitting until fixpoint.
+  ///
+  /// The mark phase stays serial (it reads leaves of neighboring trees);
+  /// the apply phase batch-produces all children through BatchOps<R>, one
+  /// tree at a time in parallel on the forest pool.
   void balance(BalanceKind kind = BalanceKind::kFull) {
     bool changed = true;
     while (changed) {
@@ -311,35 +330,19 @@ class Forest {
           });
         }
       }
+      std::vector<std::size_t> dirty;
       for (std::size_t t = 0; t < trees_.size(); ++t) {
-        if (std::find(split[t].begin(), split[t].end(), 1) ==
+        if (std::find(split[t].begin(), split[t].end(), 1) !=
             split[t].end()) {
-          continue;
-        }
-        changed = true;
-        std::vector<quad_t> out;
-        out.reserve(trees_[t].size() + dims::num_children);
-        std::vector<std::uint64_t> out_payload;
-        for (std::size_t i = 0; i < trees_[t].size(); ++i) {
-          if (!split[t][i]) {
-            out.push_back(trees_[t][i]);
-            if (payload_enabled_) {
-              out_payload.push_back(payloads_[t][i]);
-            }
-            continue;
-          }
-          for (int c = 0; c < dims::num_children; ++c) {
-            out.push_back(R::child(trees_[t][i], c));
-            if (payload_enabled_) {
-              out_payload.push_back(payloads_[t][i]);
-            }
-          }
-        }
-        trees_[t] = std::move(out);
-        if (payload_enabled_) {
-          payloads_[t] = std::move(out_payload);
+          dirty.push_back(t);
         }
       }
+      changed = !dirty.empty();
+      parallel_over(dirty.size(), [&](std::size_t d) {
+        const std::size_t t = dirty[d];
+        apply_splits(trees_[t],
+                     payload_enabled_ ? &payloads_[t] : nullptr, split[t]);
+      });
     }
     rebuild_offsets();
     partition();
@@ -684,24 +687,256 @@ class Forest {
     partition();
   }
 
-  /// True when leaves [i, i + 2^d) form a complete sibling family.
-  bool is_family_at(const std::vector<quad_t>& tree, std::size_t i) const {
-    if (i + dims::num_children > tree.size()) {
-      return false;
+  // ------------------------------------------------- batched adaptation core
+
+  /// Run fn(0..n-1) across the forest pool; 0- and 1-item loops stay on
+  /// the calling thread. The first exception a worker catches is rethrown
+  /// on the calling thread once every block finished (basic guarantee:
+  /// other trees may already have been modified, as with any mid-loop
+  /// throw).
+  template <class Fn>
+  static void parallel_over(std::size_t n, Fn&& fn) {
+    if (n == 0) {
+      return;
     }
-    const quad_t& first = tree[i];
-    if (R::level(first) == 0 || R::child_id(first) != 0) {
-      return false;
+    if (n == 1 || !tree_parallelism() || detail::on_forest_worker()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        fn(i);
+      }
+      return;
     }
-    const quad_t p = R::parent(first);
-    for (int c = 1; c < dims::num_children; ++c) {
-      const quad_t& sib = tree[i + static_cast<std::size_t>(c)];
-      if (R::level(sib) != R::level(first) || R::child_id(sib) != c ||
-          !R::equal(R::parent(sib), p)) {
-        return false;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    detail::forest_pool().parallel_for(n, [&](std::size_t b, std::size_t e) {
+      detail::on_forest_worker() = true;
+      try {
+        for (std::size_t i = b; i < e; ++i) {
+          fn(i);
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) {
+          error = std::current_exception();
+        }
+      }
+      detail::on_forest_worker() = false;
+    });
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+
+  /// Per-tree outer loop of the adaptation algorithms.
+  template <class Fn>
+  void for_each_tree(Fn&& fn) {
+    parallel_over(trees_.size(), fn);
+  }
+
+  /// Replace every leaf marked in \p split by its 2^d children, staged
+  /// into level-uniform spans and produced through BatchOps<R> (one batch
+  /// per (level, child-index) pair), then stitched back in Morton order.
+  /// Children inherit the parent's payload. When \p fresh is non-null it
+  /// is rebuilt parallel to the new leaf array with 1 exactly at newly
+  /// created children (the set a recursive refine wave re-examines).
+  static void apply_splits(std::vector<quad_t>& leaves,
+                           std::vector<std::uint64_t>* pay,
+                           const std::vector<std::uint8_t>& split,
+                           std::vector<std::uint8_t>* fresh = nullptr) {
+    constexpr int nc = dims::num_children;
+    const std::size_t n = leaves.size();
+    std::vector<std::size_t> count(
+        static_cast<std::size_t>(R::max_level) + 1, 0);
+    std::size_t total_split = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (split[i]) {
+        ++count[static_cast<std::size_t>(R::level(leaves[i]))];
+        ++total_split;
       }
     }
-    return true;
+    if (total_split == 0) {
+      if (fresh) {
+        fresh->assign(n, 0);
+      }
+      return;
+    }
+    // Stage marked leaves per level; children of staged element j for
+    // child index c land at kids[l][c * count[l] + j].
+    std::vector<std::vector<quad_t>> staged(count.size());
+    std::vector<std::vector<quad_t>> kids(count.size());
+    for (std::size_t l = 0; l < count.size(); ++l) {
+      if (count[l] != 0) {
+        staged[l].reserve(count[l]);
+        kids[l].resize(count[l] * static_cast<std::size_t>(nc));
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (split[i]) {
+        staged[static_cast<std::size_t>(R::level(leaves[i]))].push_back(
+            leaves[i]);
+      }
+    }
+    for (std::size_t l = 0; l < count.size(); ++l) {
+      const std::size_t k = count[l];
+      if (k == 0) {
+        continue;
+      }
+      for (int c = 0; c < nc; ++c) {
+        BatchOps<R>::child_uniform(staged[l].data(),
+                                   kids[l].data() +
+                                       static_cast<std::size_t>(c) * k,
+                                   k, c, static_cast<int>(l));
+      }
+    }
+    const std::size_t out_n =
+        n + total_split * static_cast<std::size_t>(nc - 1);
+    std::vector<quad_t> out;
+    out.reserve(out_n);
+    std::vector<std::uint64_t> outp;
+    if (pay) {
+      outp.reserve(out_n);
+    }
+    if (fresh) {
+      fresh->clear();
+      fresh->reserve(out_n);
+    }
+    std::vector<std::size_t> cursor(count.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!split[i]) {
+        out.push_back(leaves[i]);
+        if (pay) {
+          outp.push_back((*pay)[i]);
+        }
+        if (fresh) {
+          fresh->push_back(0);
+        }
+        continue;
+      }
+      const auto l = static_cast<std::size_t>(R::level(leaves[i]));
+      const std::size_t j = cursor[l]++;
+      const std::size_t k = count[l];
+      for (int c = 0; c < nc; ++c) {
+        out.push_back(kids[l][static_cast<std::size_t>(c) * k + j]);
+        if (pay) {
+          outp.push_back((*pay)[i]);
+        }
+        if (fresh) {
+          fresh->push_back(1);
+        }
+      }
+    }
+    leaves = std::move(out);
+    if (pay) {
+      *pay = std::move(outp);
+    }
+  }
+
+  /// Reusable buffers of coarsen_tree_pass, so recursive coarsening does
+  /// not reallocate the staging arrays on every pass.
+  struct CoarsenScratch {
+    std::vector<int> levels;
+    std::vector<int> ids;
+    std::vector<quad_t> parents;
+    std::vector<std::vector<std::size_t>> at_level;
+    std::vector<quad_t> in;
+    std::vector<quad_t> batch_out;
+    std::vector<int> idbuf;
+    std::vector<std::uint8_t> eq;
+  };
+
+  /// One coarsen sweep over tree \p ti: batch-precompute parent, child id
+  /// and adjacent-parent equality for every leaf, then scan for complete
+  /// families and replace accepted ones by their (already computed)
+  /// parent. Returns whether anything was coarsened.
+  template <class Fn>
+  bool coarsen_tree_pass(std::size_t ti, Fn& should_coarsen,
+                         CoarsenScratch& s) {
+    constexpr int nc = dims::num_children;
+    auto& tree = trees_[ti];
+    const std::size_t n = tree.size();
+    if (n < static_cast<std::size_t>(nc)) {
+      return false;
+    }
+    s.levels.resize(n);
+    s.ids.assign(n, 0);
+    // Level-0 leaves have no parent; they keep themselves so the batched
+    // equality sweep below reads initialized data (their lanes are never
+    // consulted by the family test, which requires level > 0).
+    s.parents.assign(tree.begin(), tree.end());
+    s.at_level.resize(static_cast<std::size_t>(R::max_level) + 1);
+    for (auto& idx : s.at_level) {
+      idx.clear();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      s.levels[i] = R::level(tree[i]);
+      if (s.levels[i] > 0) {
+        s.at_level[static_cast<std::size_t>(s.levels[i])].push_back(i);
+      }
+    }
+    for (std::size_t l = 1; l < s.at_level.size(); ++l) {
+      const auto& idx = s.at_level[l];
+      if (idx.empty()) {
+        continue;
+      }
+      s.in.clear();
+      s.in.reserve(idx.size());
+      for (const std::size_t i : idx) {
+        s.in.push_back(tree[i]);
+      }
+      s.batch_out.resize(idx.size());
+      s.idbuf.resize(idx.size());
+      BatchOps<R>::parent_uniform(s.in.data(), s.batch_out.data(),
+                                  idx.size(), static_cast<int>(l));
+      BatchOps<R>::child_id_n(s.in.data(), s.idbuf.data(), idx.size(),
+                              static_cast<int>(l));
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        s.parents[idx[j]] = s.batch_out[j];
+        s.ids[idx[j]] = s.idbuf[j];
+      }
+    }
+    // eq[i] <=> parents[i] == parents[i + 1]; chained over a run of
+    // sibling candidates it implies one common parent.
+    s.eq.resize(n - 1);
+    BatchOps<R>::equal_mask(s.parents.data(), s.parents.data() + 1,
+                            s.eq.data(), n - 1);
+
+    const auto t = static_cast<tree_id_t>(ti);
+    auto* pay = payload_enabled_ ? &payloads_[ti] : nullptr;
+    std::vector<quad_t> out;
+    out.reserve(n);
+    std::vector<std::uint64_t> outp;
+    if (pay) {
+      outp.reserve(n);
+    }
+    bool changed = false;
+    std::size_t i = 0;
+    while (i < n) {
+      bool fam = i + static_cast<std::size_t>(nc) <= n &&
+                 s.levels[i] > 0 && s.ids[i] == 0;
+      for (int c = 1; fam && c < nc; ++c) {
+        const std::size_t j = i + static_cast<std::size_t>(c);
+        fam = s.levels[j] == s.levels[i] && s.ids[j] == c &&
+              s.eq[j - 1] != 0;
+      }
+      if (fam && should_coarsen(t, tree.data() + i)) {
+        out.push_back(s.parents[i]);
+        if (pay) {
+          outp.push_back((*pay)[i]);  // parent takes the first child's
+        }
+        i += static_cast<std::size_t>(nc);
+        changed = true;
+      } else {
+        out.push_back(tree[i]);
+        if (pay) {
+          outp.push_back((*pay)[i]);
+        }
+        ++i;
+      }
+    }
+    tree = std::move(out);
+    if (pay) {
+      *pay = std::move(outp);
+    }
+    return changed;
   }
 
   void rebuild_offsets() {

@@ -1,6 +1,8 @@
 #include "par/thread_pool.hpp"
 
 #include <algorithm>
+#include <latch>
+#include <memory>
 
 namespace qforest::par {
 
@@ -44,17 +46,23 @@ void ThreadPool::parallel_for(
   if (n == 0) {
     return;
   }
+  // Per-call completion latch: waiting for global pool quiescence
+  // (wait_idle) would couple concurrent parallel_for callers — one
+  // caller's fast loop would block for another's slow one.
   const std::size_t chunks = std::min<std::size_t>(size(), n);
   const std::size_t per = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
+  const std::size_t tasks = (n + per - 1) / per;
+  const auto latch =
+      std::make_shared<std::latch>(static_cast<std::ptrdiff_t>(tasks));
+  for (std::size_t c = 0; c < tasks; ++c) {
     const std::size_t begin = c * per;
     const std::size_t end = std::min(n, begin + per);
-    if (begin >= end) {
-      break;
-    }
-    submit([fn, begin, end] { fn(begin, end); });
+    submit([fn, begin, end, latch] {
+      fn(begin, end);
+      latch->count_down();
+    });
   }
-  wait_idle();
+  latch->wait();
 }
 
 void ThreadPool::worker_loop() {

@@ -38,7 +38,9 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
-  /// Run fn(i) for i in [0, n) split into roughly size() blocks and wait.
+  /// Run fn(i) for i in [0, n) split into roughly size() blocks and wait
+  /// for *these* blocks only (per-call latch, not pool quiescence), so
+  /// concurrent parallel_for callers never block on each other's work.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
