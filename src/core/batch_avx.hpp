@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/canonical.hpp"
 #include "core/quadrant_avx.hpp"
 #include "simd/vec128.hpp"
 
@@ -298,8 +299,62 @@ class AvxBatch {
 #endif
   }
 
+  /// Canonical-grid lower corner of the same-level neighbor displaced by
+  /// (dx,dy,dz) quadrant lengths; all inputs share \p level. The offset
+  /// add runs vectorized on the rep-scale coordinate lanes of two
+  /// quadrants per register, then each lane is widened and upshifted to
+  /// the canonical 2^60 grid on the store (the add cannot overflow int32:
+  /// |coord ± h| < 2^(max_level+1)). Out-of-root results are *not*
+  /// wrapped — the caller owns tree-boundary resolution.
+  static void neighbor_at_offset_n(const quad_t* in, std::int64_t* ox,
+                                   std::int64_t* oy, std::int64_t* oz,
+                                   std::size_t n, int dx, int dy, int dz,
+                                   int level) {
+#if QFOREST_HAVE_AVX2
+    const auto h = static_cast<int>(
+        static_cast<std::uint32_t>(rep::length_at(level)));
+    const __m256i delta = _mm256_broadcastsi128_si256(
+        _mm_set_epi32(0, dz * h, dy * h, dx * h));
+    const int up = kCanonicalLevel - rep::max_level;
+    alignas(32) std::int32_t lanes[8];
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const __m256i pair = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(&in[i]));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                         _mm256_add_epi32(pair, delta));
+      ox[i] = static_cast<std::int64_t>(lanes[0]) << up;
+      oy[i] = static_cast<std::int64_t>(lanes[1]) << up;
+      oz[i] = static_cast<std::int64_t>(lanes[2]) << up;
+      ox[i + 1] = static_cast<std::int64_t>(lanes[4]) << up;
+      oy[i + 1] = static_cast<std::int64_t>(lanes[5]) << up;
+      oz[i + 1] = static_cast<std::int64_t>(lanes[6]) << up;
+    }
+    for (; i < n; ++i) {
+      neighbor_at_offset_scalar(in[i], ox + i, oy + i, oz + i, dx, dy, dz,
+                                level);
+    }
+#else
+    for (std::size_t i = 0; i < n; ++i) {
+      neighbor_at_offset_scalar(in[i], ox + i, oy + i, oz + i, dx, dy, dz,
+                                level);
+    }
+#endif
+  }
+
   /// True when this build uses real 256-bit registers.
   static constexpr bool vectorized() { return QFOREST_HAVE_AVX2 != 0; }
+
+ private:
+  static void neighbor_at_offset_scalar(const quad_t& q, std::int64_t* ox,
+                                        std::int64_t* oy, std::int64_t* oz,
+                                        int dx, int dy, int dz, int level) {
+    const std::int64_t h = std::int64_t{1} << (kCanonicalLevel - level);
+    const CanonicalQuadrant c = to_canonical<rep>(q);
+    *ox = c.x + dx * h;
+    *oy = c.y + dy * h;
+    *oz = c.z + dz * h;
+  }
 };
 
 }  // namespace qforest

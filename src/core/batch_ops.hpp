@@ -35,6 +35,7 @@
 #include <cstdlib>
 
 #include "core/batch_avx.hpp"
+#include "core/canonical.hpp"
 #include "core/quadrant_avx.hpp"
 #include "core/rep_traits.hpp"
 #include "simd/feature_detect.hpp"
@@ -130,6 +131,19 @@ struct ScalarBatch {
       out[i] = R::less(a[i], b[i]) ? 1 : 0;
     }
   }
+
+  static void neighbor_at_offset_n(const quad_t* in, std::int64_t* ox,
+                                   std::int64_t* oy, std::int64_t* oz,
+                                   std::size_t n, int dx, int dy, int dz,
+                                   int level) {
+    const std::int64_t h = std::int64_t{1} << (kCanonicalLevel - level);
+    for (std::size_t i = 0; i < n; ++i) {
+      const CanonicalQuadrant c = to_canonical<R>(in[i]);
+      ox[i] = c.x + dx * h;
+      oy[i] = c.y + dy * h;
+      oz[i] = c.z + dz * h;
+    }
+  }
 };
 
 /// Primary template: every representation gets the scalar-loop bodies.
@@ -144,9 +158,19 @@ struct ScalarBatch {
 ///   child_id_n(in, out, n, level)             out[i] = child_id(in[i])
 ///   equal_mask(a, b, out, n)                  out[i] = equal(a[i], b[i])
 ///   less_mask(a, b, out, n)                   out[i] = less(a[i], b[i])
+///   neighbor_at_offset_n(in, ox, oy, oz, n, dx, dy, dz, level)
+///       (ox,oy,oz)[i] = canonical(in[i]) + (dx,dy,dz) * h_canonical(level)
 /// `level` is the uniform level of every element of `in` (callers stage
 /// level-uniform spans); first_descendant_n, equal_mask and less_mask
 /// accept mixed levels.
+///
+/// neighbor_at_offset_n is the bulk producer of the balance mark phase: it
+/// emits the *canonical-grid* (2^60, core/canonical.hpp) lower corner of
+/// every same-level neighbor displaced by (dx,dy,dz) quadrant lengths.
+/// Coordinates may fall outside [0, 2^60) when the neighbor crosses the
+/// tree boundary — the caller wraps them, resolves the neighbor tree via
+/// the connectivity, and re-encodes with from_canonical (the wrapped
+/// coordinates stay aligned to R's grid, so the precondition holds).
 template <class R>
   requires QuadrantRepresentation<R>
 struct BatchOps : ScalarBatch<R> {
@@ -254,6 +278,19 @@ struct BatchOps<AvxRep<Dim>> {
                         std::size_t n) {
     // Branchy MSB rule: scalar on every path (no lane-parallel form).
     scalar_kernels::less_mask(a, b, out, n);
+  }
+
+  static void neighbor_at_offset_n(const quad_t* in, std::int64_t* ox,
+                                   std::int64_t* oy, std::int64_t* oz,
+                                   std::size_t n, int dx, int dy, int dz,
+                                   int level) {
+    if (simd_active()) {
+      simd_kernels::neighbor_at_offset_n(in, ox, oy, oz, n, dx, dy, dz,
+                                         level);
+    } else {
+      scalar_kernels::neighbor_at_offset_n(in, ox, oy, oz, n, dx, dy, dz,
+                                           level);
+    }
   }
 };
 

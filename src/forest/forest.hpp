@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
@@ -39,9 +40,11 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "core/batch_ops.hpp"
+#include "core/bits.hpp"
 #include "core/canonical.hpp"
 #include "core/rep_traits.hpp"
 #include "core/types.hpp"
@@ -295,42 +298,39 @@ class Forest {
   /// Enforce the 2:1 level condition across the chosen neighbor relations
   /// (including across tree faces) by iterated splitting until fixpoint.
   ///
-  /// The mark phase stays serial (it reads leaves of neighboring trees);
-  /// the apply phase batch-produces all children through BatchOps<R>, one
-  /// tree at a time in parallel on the forest pool.
+  /// The mark phase is batched: each tree's leaves are staged into
+  /// level-uniform spans and all candidate neighbor keys are produced in
+  /// bulk through BatchOps<R>::neighbor_at_offset_n. Keys staying inside
+  /// their source tree (the vast majority) resolve against a per-tree
+  /// Morton-cell index (MarkGrid) with a range-local search of a handful
+  /// of leaves; keys crossing a tree face are bucketed by target tree and
+  /// resolved there with one sort + sorted-merge sweep over the target's
+  /// leaf array. Every mark sub-phase and the split apply run per tree on
+  /// the forest pool (grids, candidate buckets and split bitmaps are all
+  /// tree-local). The scalar per-quadrant reference path is kept behind
+  /// the batch kill switch (QFOREST_NO_BATCH / batch::set_enabled(false))
+  /// so one binary can measure and cross-check both, exactly like the
+  /// kernel dispatch (see bench_balance_mark).
+  ///
+  /// An already-balanced forest is a no-op: no split, no leaf-array
+  /// rebuild, no repartition.
   void balance(BalanceKind kind = BalanceKind::kFull) {
+    bool any_changed = false;
     bool changed = true;
+    // Split bitmaps are hoisted out of the fixpoint loop so later
+    // iterations reuse the heap buffers instead of reallocating them.
+    std::vector<std::vector<std::uint8_t>> split(trees_.size());
+    std::vector<std::size_t> dirty;
     while (changed) {
-      changed = false;
-      // Collect split requests per tree, then apply them in one sweep.
-      std::vector<std::vector<std::uint8_t>> split(trees_.size());
       for (std::size_t t = 0; t < trees_.size(); ++t) {
         split[t].assign(trees_[t].size(), 0);
       }
-      for (tree_id_t t = 0; t < num_trees(); ++t) {
-        const auto& tree = trees_[static_cast<std::size_t>(t)];
-        for (const quad_t& q : tree) {
-          const int lvl = R::level(q);
-          if (lvl < 2) {
-            continue;  // neighbors can never be two levels coarser
-          }
-          for_each_neighbor_offset(kind, [&](int dx, int dy, int dz) {
-            const auto nb = neighbor_at_offset(t, q, dx, dy, dz);
-            if (!nb.has_value()) {
-              return;  // physical boundary
-            }
-            const auto enclosing = find_enclosing_leaf(nb->tree, nb->quad);
-            if (enclosing.has_value()) {
-              const quad_t& leaf =
-                  trees_[static_cast<std::size_t>(nb->tree)][*enclosing];
-              if (R::level(leaf) < lvl - 1) {
-                split[static_cast<std::size_t>(nb->tree)][*enclosing] = 1;
-              }
-            }
-          });
-        }
+      if (batch::enabled()) {
+        mark_splits_batched(kind, split);
+      } else {
+        mark_splits_scalar(kind, split);
       }
-      std::vector<std::size_t> dirty;
+      dirty.clear();
       for (std::size_t t = 0; t < trees_.size(); ++t) {
         if (std::find(split[t].begin(), split[t].end(), 1) !=
             split[t].end()) {
@@ -338,14 +338,17 @@ class Forest {
         }
       }
       changed = !dirty.empty();
+      any_changed |= changed;
       parallel_over(dirty.size(), [&](std::size_t d) {
         const std::size_t t = dirty[d];
         apply_splits(trees_[t],
                      payload_enabled_ ? &payloads_[t] : nullptr, split[t]);
       });
     }
-    rebuild_offsets();
-    partition();
+    if (any_changed) {
+      rebuild_offsets();
+      partition();
+    }
   }
 
   /// Check the 2:1 condition without modifying the forest.
@@ -356,24 +359,22 @@ class Forest {
         if (lvl < 2) {
           continue;
         }
-        bool ok = true;
-        for_each_neighbor_offset(kind, [&](int dx, int dy, int dz) {
-          if (!ok) {
-            return;
-          }
-          const auto nb = neighbor_at_offset(t, q, dx, dy, dz);
-          if (!nb.has_value()) {
-            return;
-          }
-          const auto enclosing = find_enclosing_leaf(nb->tree, nb->quad);
-          if (enclosing.has_value()) {
-            const quad_t& leaf =
-                trees_[static_cast<std::size_t>(nb->tree)][*enclosing];
-            if (R::level(leaf) < lvl - 1) {
-              ok = false;
-            }
-          }
-        });
+        const bool ok =
+            for_each_neighbor_offset(kind, [&](int dx, int dy, int dz) {
+              const auto nb = neighbor_at_offset(t, q, dx, dy, dz);
+              if (!nb.has_value()) {
+                return true;
+              }
+              const auto enclosing = find_enclosing_leaf(nb->tree, nb->quad);
+              if (enclosing.has_value()) {
+                const quad_t& leaf =
+                    trees_[static_cast<std::size_t>(nb->tree)][*enclosing];
+                if (R::level(leaf) < lvl - 1) {
+                  return false;  // violation: stop probing this leaf
+                }
+              }
+              return true;
+            });
         if (!ok) {
           return false;
         }
@@ -948,8 +949,12 @@ class Forest {
   }
 
   /// Invoke \p fn for every neighbor offset vector of the balance kind.
+  /// \p fn may return void, or bool where false stops the enumeration
+  /// early (the balance checkers bail at the first violation instead of
+  /// probing the remaining offsets). Returns whether the enumeration ran
+  /// to completion.
   template <class Fn>
-  static void for_each_neighbor_offset(BalanceKind kind, Fn&& fn) {
+  static bool for_each_neighbor_offset(BalanceKind kind, Fn&& fn) {
     const int zlo = dim == 3 ? -1 : 0;
     const int zhi = dim == 3 ? 1 : 0;
     for (int dz = zlo; dz <= zhi; ++dz) {
@@ -965,8 +970,299 @@ class Forest {
           if (kind == BalanceKind::kEdge && nz > 2) {
             continue;
           }
-          fn(dx, dy, dz);
+          if constexpr (std::is_void_v<std::invoke_result_t<Fn&, int, int,
+                                                            int>>) {
+            fn(dx, dy, dz);
+          } else {
+            if (!fn(dx, dy, dz)) {
+              return false;
+            }
+          }
         }
+      }
+    }
+    return true;
+  }
+
+  // ------------------------------------------------- balance mark phase
+
+  /// Scalar reference mark phase: one neighbor_at_offset + binary search
+  /// per (leaf, offset) pair — the pre-batching code path, kept
+  /// selectable via the batch kill switch (QFOREST_NO_BATCH) so tests and
+  /// benches can cross-check and measure the batched phase against it.
+  void mark_splits_scalar(
+      BalanceKind kind, std::vector<std::vector<std::uint8_t>>& split) const {
+    for (tree_id_t t = 0; t < num_trees(); ++t) {
+      const auto& tree = trees_[static_cast<std::size_t>(t)];
+      for (const quad_t& q : tree) {
+        const int lvl = R::level(q);
+        if (lvl < 2) {
+          continue;  // neighbors can never be two levels coarser
+        }
+        for_each_neighbor_offset(kind, [&](int dx, int dy, int dz) {
+          const auto nb = neighbor_at_offset(t, q, dx, dy, dz);
+          if (!nb.has_value()) {
+            return;  // physical boundary
+          }
+          const auto enclosing = find_enclosing_leaf(nb->tree, nb->quad);
+          if (enclosing.has_value()) {
+            const quad_t& leaf =
+                trees_[static_cast<std::size_t>(nb->tree)][*enclosing];
+            if (R::level(leaf) < lvl - 1) {
+              split[static_cast<std::size_t>(nb->tree)][*enclosing] = 1;
+            }
+          }
+        });
+      }
+    }
+  }
+
+  /// Candidate neighbor keys one source tree emits into one target tree,
+  /// already re-encoded in the target tree's coordinate frame.
+  struct MarkBucket {
+    tree_id_t tree;
+    std::vector<quad_t> quads;
+  };
+
+  /// Coarse Morton-cell index over one tree's leaf array: cell c of the
+  /// uniform level-`level` grid maps to the contiguous leaf index range
+  /// [begin[c], end[c]) of leaves intersecting it (contiguous because the
+  /// leaves are sorted along the curve and grid cells are aligned
+  /// blocks). An enclosing-leaf lookup then touches only the few leaves
+  /// of one cell instead of binary-searching the whole tree.
+  struct MarkGrid {
+    int level = 0;
+    std::vector<std::size_t> begin;
+    std::vector<std::size_t> end;
+  };
+
+  /// Batched mark phase, three tree-parallel passes with tree-local
+  /// writes only (no locks):
+  ///   1. index: build each tree's Morton-cell MarkGrid;
+  ///   2. produce + resolve local: bulk-emit every candidate neighbor
+  ///      key through BatchOps<R>::neighbor_at_offset_n over
+  ///      level-uniform spans; keys staying in the source tree (the vast
+  ///      majority) resolve immediately against its MarkGrid, keys that
+  ///      cross a tree face are bucketed by target tree;
+  ///   3. resolve remote: each target tree sorts its incoming bucket and
+  ///      resolves it with one sorted-merge sweep over its leaf array.
+  void mark_splits_batched(
+      BalanceKind kind, std::vector<std::vector<std::uint8_t>>& split) const {
+    const std::size_t nt = trees_.size();
+    std::vector<MarkGrid> grids(nt);
+    parallel_over(nt, [&](std::size_t ti) {
+      build_mark_grid(ti, grids[ti]);
+    });
+    std::vector<std::vector<MarkBucket>> cand(nt);
+    parallel_over(nt, [&](std::size_t ti) {
+      produce_and_mark_local(static_cast<tree_id_t>(ti), kind, grids[ti],
+                             split[ti], cand[ti]);
+    });
+    // One serial pass groups bucket pointers per target, so the
+    // per-target workers below don't each scan every source tree
+    // (quadratic in num_trees on large bricks).
+    std::vector<std::vector<const std::vector<quad_t>*>> incoming(nt);
+    for (const auto& per_source : cand) {
+      for (const MarkBucket& b : per_source) {
+        incoming[static_cast<std::size_t>(b.tree)].push_back(&b.quads);
+      }
+    }
+    parallel_over(nt, [&](std::size_t ti) {
+      std::vector<quad_t> keys;
+      for (const auto* quads : incoming[ti]) {
+        keys.insert(keys.end(), quads->begin(), quads->end());
+      }
+      if (keys.empty()) {
+        return;
+      }
+      std::sort(keys.begin(), keys.end(), RepLess<R>{});
+      mark_enclosing_merge(ti, keys, split[ti]);
+    });
+  }
+
+  /// Build tree \p ti's MarkGrid. The grid level is chosen so cells hold
+  /// ~2+ leaves on average (a finer grid would cost more to build than it
+  /// saves); a leaf coarser than the grid covers an aligned block of
+  /// cells that is contiguous in cell-Morton order.
+  void build_mark_grid(std::size_t ti, MarkGrid& g) const {
+    const auto& tree = trees_[ti];
+    const std::size_t n = tree.size();
+    int lvl = 0;
+    while (lvl + 1 <= R::max_level &&
+           (std::size_t{1} << (dim * (lvl + 1))) * 2 <= n) {
+      ++lvl;
+    }
+    g.level = lvl;
+    const std::size_t cells = std::size_t{1} << (dim * lvl);
+    g.begin.assign(cells, n);
+    g.end.assign(cells, 0);
+    const int shift = kCanonicalLevel - lvl;
+    for (std::size_t i = 0; i < n; ++i) {
+      const CanonicalQuadrant c = to_canonical<R>(tree[i]);
+      const std::uint64_t c0 =
+          cell_morton(g, c.x >> shift, c.y >> shift, c.z >> shift);
+      std::uint64_t c1 = c0;
+      if (c.level < lvl) {
+        c1 = c0 + (std::uint64_t{1} << (dim * (lvl - c.level))) - 1;
+      }
+      for (std::uint64_t cc = c0; cc <= c1; ++cc) {
+        g.begin[cc] = std::min(g.begin[cc], i);
+        g.end[cc] = std::max(g.end[cc], i + 1);
+      }
+    }
+  }
+
+  static std::uint64_t cell_morton(const MarkGrid& g, std::int64_t cx,
+                                   std::int64_t cy, std::int64_t cz) {
+    if constexpr (dim == 3) {
+      return bits::interleave3(static_cast<std::uint32_t>(cx),
+                               static_cast<std::uint32_t>(cy),
+                               static_cast<std::uint32_t>(cz));
+    } else {
+      (void)cz;
+      return bits::interleave2(static_cast<std::uint32_t>(cx),
+                               static_cast<std::uint32_t>(cy));
+    }
+  }
+
+  /// Phase 2 worker: stage tree \p t's leaves into level-uniform spans
+  /// (leaves of level < 2 emit nothing — their neighbors can never be two
+  /// levels coarser) and emit every neighbor-offset key in bulk. Keys
+  /// staying inside the tree resolve against the MarkGrid on the spot;
+  /// keys crossing a tree face are wrapped into the neighbor tree's frame
+  /// and bucketed by target. Keys leaving the physical domain are
+  /// dropped. A periodic wrap back into the source tree counts as local
+  /// (target == t) and also resolves here.
+  void produce_and_mark_local(tree_id_t t, BalanceKind kind,
+                              const MarkGrid& grid,
+                              std::vector<std::uint8_t>& split,
+                              std::vector<MarkBucket>& out) const {
+    const auto ti = static_cast<std::size_t>(t);
+    const auto& tree = trees_[ti];
+    std::vector<std::vector<quad_t>> staged(
+        static_cast<std::size_t>(R::max_level) + 1);
+    for (const quad_t& q : tree) {
+      const int lvl = R::level(q);
+      if (lvl >= 2) {
+        staged[static_cast<std::size_t>(lvl)].push_back(q);
+      }
+    }
+    const std::int64_t root = std::int64_t{1} << kCanonicalLevel;
+    std::vector<std::int64_t> ox, oy, oz;
+    auto bucket_for = [&](tree_id_t target) -> std::vector<quad_t>& {
+      // Linear scan: a tree has at most 3^dim - 1 distinct targets.
+      for (MarkBucket& b : out) {
+        if (b.tree == target) {
+          return b.quads;
+        }
+      }
+      out.push_back(MarkBucket{target, {}});
+      return out.back().quads;
+    };
+    for (std::size_t l = 2; l < staged.size(); ++l) {
+      const auto& span = staged[l];
+      if (span.empty()) {
+        continue;
+      }
+      ox.resize(span.size());
+      oy.resize(span.size());
+      oz.resize(span.size());
+      for_each_neighbor_offset(kind, [&](int dx, int dy, int dz) {
+        BatchOps<R>::neighbor_at_offset_n(span.data(), ox.data(), oy.data(),
+                                          oz.data(), span.size(), dx, dy,
+                                          dz, static_cast<int>(l));
+        for (std::size_t i = 0; i < span.size(); ++i) {
+          std::int64_t pos[3] = {ox[i], oy[i], oz[i]};
+          std::array<int, 3> step = {0, 0, 0};
+          for (int a = 0; a < dim; ++a) {
+            if (pos[a] < 0) {
+              step[a] = -1;
+              pos[a] += root;
+            } else if (pos[a] >= root) {
+              step[a] = 1;
+              pos[a] -= root;
+            }
+          }
+          tree_id_t target = t;
+          if (step[0] != 0 || step[1] != 0 || step[2] != 0) {
+            target =
+                conn_.tree_offset_neighbor(t, step[0], step[1], step[2]);
+            if (target < 0) {
+              continue;  // physical boundary
+            }
+          }
+          const CanonicalQuadrant nc{pos[0], pos[1], pos[2],
+                                     static_cast<int>(l)};
+          if (target == t) {
+            resolve_mark(ti, grid, nc, split);
+          } else {
+            bucket_for(target).push_back(from_canonical<R>(nc));
+          }
+        }
+      });
+    }
+  }
+
+  /// Resolve one candidate key against tree \p ti via its MarkGrid: the
+  /// enclosing leaf, if any, intersects the grid cell containing the
+  /// key's corner, so the range-local upper_bound equals the global one
+  /// whenever an enclosure exists (an out-of-range predecessor cannot be
+  /// an ancestor — ancestors contain the corner and hence the cell).
+  /// Marks the enclosing leaf when it is two or more levels coarser than
+  /// the key (a 2:1 violation).
+  void resolve_mark(std::size_t ti, const MarkGrid& g,
+                    const CanonicalQuadrant& nc,
+                    std::vector<std::uint8_t>& split) const {
+    const auto& tree = trees_[ti];
+    const int shift = kCanonicalLevel - g.level;
+    const std::uint64_t cell =
+        cell_morton(g, nc.x >> shift, nc.y >> shift, nc.z >> shift);
+    const std::size_t lo = g.begin[cell];
+    const std::size_t hi = g.end[cell];
+    if (lo >= hi) {
+      return;
+    }
+    const quad_t key = from_canonical<R>(nc);
+    const auto first = tree.begin() + static_cast<std::ptrdiff_t>(lo);
+    const auto last = tree.begin() + static_cast<std::ptrdiff_t>(hi);
+    const auto it = std::upper_bound(first, last, key, RepLess<R>{});
+    if (it == first) {
+      return;
+    }
+    const auto idx = static_cast<std::size_t>(it - tree.begin()) - 1;
+    const quad_t& leaf = tree[idx];
+    if (R::level(leaf) < nc.level - 1 &&
+        (R::equal(leaf, key) || R::is_ancestor(leaf, key))) {
+      split[idx] = 1;
+    }
+  }
+
+  /// Phase 2 worker: the sorted-merge replacement of per-candidate
+  /// find_enclosing_leaf. Keys and the leaf array are both sorted by
+  /// R::less ("ancestors before descendants" curve order), so the index
+  /// of the last leaf <= key — the only possible enclosure, exactly what
+  /// upper_bound - 1 yields — advances monotonically and one sweep
+  /// resolves every key. The enclosing leaf is marked when it is two or
+  /// more levels coarser than the key (a 2:1 violation); keys whose
+  /// region is covered by finer leaves have no enclosure and mark
+  /// nothing.
+  void mark_enclosing_merge(std::size_t ti, const std::vector<quad_t>& keys,
+                            std::vector<std::uint8_t>& split) const {
+    const auto& tree = trees_[ti];
+    const auto n = static_cast<std::ptrdiff_t>(tree.size());
+    std::ptrdiff_t j = -1;  // last leaf with tree[j] <= key; -1: none yet
+    for (const quad_t& key : keys) {
+      while (j + 1 < n &&
+             !R::less(key, tree[static_cast<std::size_t>(j + 1)])) {
+        ++j;
+      }
+      if (j < 0) {
+        continue;
+      }
+      const quad_t& leaf = tree[static_cast<std::size_t>(j)];
+      if (R::level(leaf) < R::level(key) - 1 &&
+          (R::equal(leaf, key) || R::is_ancestor(leaf, key))) {
+        split[static_cast<std::size_t>(j)] = 1;
       }
     }
   }

@@ -151,6 +151,41 @@ TEST(BalanceUniform, AlreadyBalancedUnchanged) {
   EXPECT_EQ(f.num_quadrants(), n);
 }
 
+TYPED_TEST(BalanceT, AlreadyBalancedIsANoOp) {
+  // Balancing a balanced forest must not rebuild leaf arrays, offsets or
+  // the partition: the storage stays byte-for-byte in place (vector data
+  // pointers are stable only when nothing was reassigned).
+  using R = TypeParam;
+  const auto conn = R::dim == 2 ? Connectivity::brick2d(2, 2)
+                                : Connectivity::brick3d(2, 2, 1);
+  auto f = Forest<R>::new_uniform(conn, 1, 3);
+  f.refine(true, [&](tree_id_t t, const typename R::quad_t& q) {
+    return t == 0 && R::level(q) < 4 && R::level_index(q) == 0;
+  });
+  f.balance(BalanceKind::kFull);
+  ASSERT_TRUE(f.is_balanced(BalanceKind::kFull));
+
+  std::vector<const void*> data_before;
+  for (tree_id_t t = 0; t < f.num_trees(); ++t) {
+    data_before.push_back(f.tree_quadrants(t).data());
+  }
+  std::vector<std::pair<gidx_t, gidx_t>> ranges_before;
+  for (int r = 0; r < f.num_ranks(); ++r) {
+    ranges_before.push_back(f.rank_range(r));
+  }
+
+  f.balance(BalanceKind::kFull);
+
+  for (tree_id_t t = 0; t < f.num_trees(); ++t) {
+    EXPECT_EQ(f.tree_quadrants(t).data(),
+              data_before[static_cast<std::size_t>(t)])
+        << "tree " << t << " leaf array was reassigned by a no-op balance";
+  }
+  for (int r = 0; r < f.num_ranks(); ++r) {
+    EXPECT_EQ(f.rank_range(r), ranges_before[static_cast<std::size_t>(r)]);
+  }
+}
+
 TEST(BalancePeriodic, WrapsAroundTorus) {
   using R = StandardRep<2>;
   auto f = Forest<R>::new_uniform(Connectivity::brick2d(1, 1, true, true), 1);

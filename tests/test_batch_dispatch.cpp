@@ -99,6 +99,31 @@ void check_ops(Xoshiro256& rng, std::size_t n, int level) {
         << R::name << " last_desc i=" << i << " n=" << n;
   }
 
+  // neighbor_at_offset_n: canonical neighbor keys of the balance mark
+  // phase. Out-of-root coordinates are part of the contract (the caller
+  // wraps them), so every offset is valid at every level.
+  {
+    std::vector<std::int64_t> nx(n), ny(n), nz(n);
+    const std::int64_t h = std::int64_t{1} << (kCanonicalLevel - level);
+    const int zd = R::dim == 3 ? 1 : 0;
+    const int offsets[][3] = {{1, 0, 0},   {-1, 0, 0},  {0, -1, zd},
+                              {-1, 1, 0},  {1, 1, zd},  {-1, -1, -zd}};
+    for (const auto& d : offsets) {
+      B::neighbor_at_offset_n(in.data(), nx.data(), ny.data(), nz.data(), n,
+                              d[0], d[1], d[2], level);
+      for (std::size_t i = 0; i < n; ++i) {
+        const CanonicalQuadrant c = to_canonical<R>(in[i]);
+        ASSERT_EQ(nx[i], c.x + d[0] * h)
+            << R::name << " nboff x d=(" << d[0] << "," << d[1] << ","
+            << d[2] << ") i=" << i << " n=" << n;
+        ASSERT_EQ(ny[i], c.y + d[1] * h)
+            << R::name << " nboff y i=" << i << " n=" << n;
+        ASSERT_EQ(nz[i], c.z + d[2] * h)
+            << R::name << " nboff z i=" << i << " n=" << n;
+      }
+    }
+  }
+
   // Comparators: a batch against a half-perturbed copy of itself.
   std::vector<quad_t> other = in;
   for (std::size_t i = 0; i + 1 < n; i += 2) {
