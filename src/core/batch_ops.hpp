@@ -30,9 +30,11 @@
 /// The runtime kill switch (QFOREST_NO_BATCH / batch::set_enabled) exists
 /// so benches can measure batched against scalar dispatch in one binary.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <vector>
 
 #include "core/batch_avx.hpp"
 #include "core/canonical.hpp"
@@ -47,14 +49,56 @@ namespace batch {
 /// Process-wide batch-kernel switch: defaults to on, disabled by setting
 /// the environment variable QFOREST_NO_BATCH or calling set_enabled(false).
 /// Affects only which kernel body runs — results are bit-identical.
-inline bool& enabled_flag() {
-  static bool flag = std::getenv("QFOREST_NO_BATCH") == nullptr;
+/// Atomic with relaxed ordering: the flag may be toggled while a parallel
+/// region is running (benches flip it between timed phases) and workers
+/// only need *a* consistent value per load, not a synchronized view.
+inline std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{std::getenv("QFOREST_NO_BATCH") == nullptr};
   return flag;
 }
-inline bool enabled() { return enabled_flag(); }
-inline void set_enabled(bool on) { enabled_flag() = on; }
+inline bool enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+inline void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+/// Number of blocks when [0, n) is cut into chunks of exactly \p grain
+/// elements (the last block may be shorter). Shared by the forest's
+/// intra-tree chunk scheduling and its serial fallback so both sides
+/// agree on chunk ids and boundaries.
+inline std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  return grain == 0 ? (n != 0) : (n + grain - 1) / grain;
+}
 
 }  // namespace batch
+
+/// Span-chunk staging helper: collects the quadrants of one contiguous
+/// leaf chunk into level-uniform spans — the bridging step between the
+/// forest's intra-tree chunk scheduling and the level-uniform input
+/// precondition of every BatchOps entry point.
+template <class R>
+class SpanStage {
+ public:
+  using quad_t = typename R::quad_t;
+
+  SpanStage() : spans_(static_cast<std::size_t>(R::max_level) + 1) {}
+
+  void add(const quad_t& q) {
+    spans_[static_cast<std::size_t>(R::level(q))].push_back(q);
+  }
+
+  [[nodiscard]] std::size_t num_levels() const { return spans_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t level) const {
+    return spans_[level].size();
+  }
+  [[nodiscard]] const std::vector<quad_t>& span(std::size_t level) const {
+    return spans_[level];
+  }
+
+ private:
+  std::vector<std::vector<quad_t>> spans_;
+};
 
 /// Generic scalar bodies, shared by the primary template and by the SIMD
 /// specializations as their portable fallback path.

@@ -20,17 +20,29 @@
 /// leaves are staged into level-uniform spans and dispatched through
 /// BatchOps<R> (core/batch_ops.hpp), so representations with SIMD batch
 /// kernels consume them register-parallel while every other representation
-/// takes the generic scalar loop. The per-tree outer loops of the
-/// adaptation algorithms run on the shared forest thread pool; user
-/// callbacks must therefore be safe to invoke concurrently for *different*
-/// trees (per-tree invocations stay ordered, and single-tree forests are
-/// processed inline on the calling thread). Callbacks that mutate shared
-/// state can opt out via set_tree_parallelism(false) or the
-/// QFOREST_SERIAL_TREES environment variable; reentrant forest operations
-/// from inside a callback always run their tree loop inline.
+/// takes the generic scalar loop.
+///
+/// Scheduling is two-level: the per-tree outer loops of the adaptation
+/// algorithms run on the shared forest thread pool (level 1), and within
+/// each tree the hot passes — refine mark waves, the coarsen family
+/// decision sweep, the balance mark passes and the split apply — cut the
+/// tree's leaf array into contiguous cache-sized chunks dispatched on the
+/// same pool (level 2), so a single-tree forest (the common benchmark
+/// shape) saturates every worker instead of leaving the pool idle. User
+/// callbacks must therefore be safe to invoke concurrently — both for
+/// different trees and for different leaf chunks of the same tree.
+/// Callbacks that mutate shared state can opt out via
+/// set_tree_parallelism(false) or the QFOREST_SERIAL_TREES environment
+/// variable (disables BOTH levels); set_intra_tree_parallelism(false)
+/// disables only the chunk level. Reentrant forest operations from inside
+/// a chunk-level callback always run fully inline (chunk workers never
+/// nest); reentrant operations from a tree-level callback run their tree
+/// loop inline but may still chunk it — the pool's helping wait makes
+/// nested dispatch deadlock-free.
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -51,40 +63,167 @@
 #include "forest/connectivity.hpp"
 #include "par/communicator.hpp"
 #include "par/thread_pool.hpp"
+#include "util/log.hpp"
 
 namespace qforest {
 
 namespace detail {
-/// Worker pool shared by the per-tree loops of every Forest instantiation;
-/// created on first use, sized to the hardware concurrency.
+/// Worker pool shared by the per-tree and per-chunk loops of every Forest
+/// instantiation; created on first use, sized to the hardware concurrency
+/// unless QFOREST_THREADS overrides it.
 inline par::ThreadPool& forest_pool() {
-  static par::ThreadPool pool;
+  static par::ThreadPool pool([] {
+    if (const char* env = std::getenv("QFOREST_THREADS")) {
+      const long v = std::atol(env);
+      if (v > 0) {
+        return static_cast<unsigned>(v);
+      }
+    }
+    return 0u;  // ThreadPool default: hardware concurrency
+  }());
   return pool;
 }
 
-/// True on threads currently executing a forest-pool task. Reentrant
-/// forest operations (a callback that adapts another forest) run their
-/// per-tree loop inline instead of re-entering the pool, which would
-/// deadlock wait_idle.
-inline bool& on_forest_worker() {
-  thread_local bool flag = false;
+/// Scheduling depth of the code currently running on this thread: 0 off
+/// the pool, 1 inside a per-tree task, 2 inside an intra-tree chunk task.
+/// The depth is a property of the *task*, not the thread — the pool's
+/// helping wait executes queued tasks on waiting threads, so every task
+/// wrapper scopes the depth itself (DepthScope). Reentrant forest
+/// operations (a callback that adapts another forest) consult it: at
+/// depth >= 1 the tree loop runs inline, at depth >= 2 chunk loops run
+/// inline too, so chunk workers never nest.
+inline int& worker_depth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+/// RAII depth marker for one pool task.
+class DepthScope {
+ public:
+  explicit DepthScope(int depth) : saved_(worker_depth()) {
+    worker_depth() = depth;
+  }
+  ~DepthScope() { worker_depth() = saved_; }
+  DepthScope(const DepthScope&) = delete;
+  DepthScope& operator=(const DepthScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Atomic with relaxed ordering: the switches may be flipped while a
+/// parallel region runs (benches toggle them between timed phases);
+/// workers only need *a* consistent value per load.
+inline std::atomic<bool>& tree_parallel_flag() {
+  static std::atomic<bool> flag{std::getenv("QFOREST_SERIAL_TREES") ==
+                                nullptr};
   return flag;
 }
 
-inline bool& tree_parallel_flag() {
-  static bool flag = std::getenv("QFOREST_SERIAL_TREES") == nullptr;
+inline std::atomic<bool>& intra_tree_flag() {
+  static std::atomic<bool> flag{std::getenv("QFOREST_SERIAL_CHUNKS") ==
+                                nullptr};
   return flag;
 }
+
+/// Leaf count per intra-tree chunk task. The default is cache-sized:
+/// large enough to amortize task submission over thousands of callback
+/// evaluations, small enough that several chunks fit per worker for load
+/// balancing.
+inline constexpr std::size_t kDefaultChunkGrain = 4096;
+
+inline std::atomic<std::size_t>& chunk_grain_value() {
+  static std::atomic<std::size_t> value{[] {
+    if (const char* env = std::getenv("QFOREST_CHUNK_GRAIN")) {
+      const long long v = std::atoll(env);
+      if (v > 0) {
+        return static_cast<std::size_t>(v);
+      }
+    }
+    return kDefaultChunkGrain;
+  }()};
+  return value;
+}
+
+/// Deterministic exception collector for one parallel region: the
+/// lowest-index chunk's exception wins regardless of completion order;
+/// every other one is counted and reported, never silently dropped.
+/// ThreadPool::parallel_for_grain applies the same lowest-index-wins
+/// policy for raw pool users (CallState in par/thread_pool.cpp), but
+/// cannot count-and-log the losers — the pool layer has no logger — so
+/// the forest catches here, before the pool-level slot ever sees the
+/// exception; keep the two winner policies in sync.
+class RegionErrors {
+ public:
+  void capture(std::size_t begin_index) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_ || begin_index < error_begin_) {
+      if (error_) {
+        ++suppressed_;
+      }
+      error_ = std::current_exception();
+      error_begin_ = begin_index;
+    } else {
+      ++suppressed_;
+    }
+  }
+
+  void rethrow_if_any() {
+    if (!error_) {
+      return;
+    }
+    if (suppressed_ > 0) {
+      log_error(
+          "forest parallel region: %zu additional worker exception(s) "
+          "suppressed; rethrowing the lowest-index chunk's",
+          suppressed_);
+    }
+    std::rethrow_exception(error_);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::exception_ptr error_;
+  std::size_t error_begin_ = 0;
+  std::size_t suppressed_ = 0;
+};
 }  // namespace detail
 
-/// Process-wide switch for the per-tree parallelism of refine / coarsen /
-/// balance. Defaults to on; disable (or set the QFOREST_SERIAL_TREES
-/// environment variable) when adaptation callbacks mutate shared state
-/// without synchronization on multi-tree forests.
+/// Process-wide switch for the parallelism of refine / coarsen / balance.
+/// Defaults to on; disable (or set the QFOREST_SERIAL_TREES environment
+/// variable) when adaptation callbacks mutate shared state without
+/// synchronization. Disabling turns off BOTH scheduling levels — the
+/// per-tree loops and the intra-tree chunk loops.
 inline void set_tree_parallelism(bool on) {
-  detail::tree_parallel_flag() = on;
+  detail::tree_parallel_flag().store(on, std::memory_order_relaxed);
 }
-inline bool tree_parallelism() { return detail::tree_parallel_flag(); }
+inline bool tree_parallelism() {
+  return detail::tree_parallel_flag().load(std::memory_order_relaxed);
+}
+
+/// Switch for the intra-tree (chunk-level) parallelism only: when off,
+/// trees still run concurrently but each tree's passes stay on one
+/// thread — the pre-chunking scheduler, kept selectable for callbacks
+/// that tolerate tree-level but not chunk-level concurrency and for the
+/// bench_intra_tree ablation. Also off via QFOREST_SERIAL_CHUNKS.
+inline void set_intra_tree_parallelism(bool on) {
+  detail::intra_tree_flag().store(on, std::memory_order_relaxed);
+}
+inline bool intra_tree_parallelism() {
+  return detail::intra_tree_flag().load(std::memory_order_relaxed);
+}
+
+/// Leaves per intra-tree chunk task (0 restores the default). Tests force
+/// tiny grains to exercise chunk-boundary handling; QFOREST_CHUNK_GRAIN
+/// sets the initial value.
+inline void set_chunk_grain(std::size_t grain) {
+  detail::chunk_grain_value().store(
+      grain == 0 ? detail::kDefaultChunkGrain : grain,
+      std::memory_order_relaxed);
+}
+inline std::size_t chunk_grain() {
+  return detail::chunk_grain_value().load(std::memory_order_relaxed);
+}
 
 /// Which neighbor relations the 2:1 balance constraint covers.
 enum class BalanceKind {
@@ -231,44 +370,23 @@ class Forest {
   /// With \p recursive, children are re-examined until the callback
   /// declines or max_level is reached (p4est refine semantics).
   ///
-  /// Implementation: wave-based. Each wave marks the leaves to split (the
-  /// whole tree on the first wave, only the previous wave's children
-  /// afterwards — the same quadrants the recursive descent would visit),
-  /// then produces all children in level-uniform batches through
-  /// BatchOps<R>. Trees are processed in parallel on the forest pool.
+  /// Implementation: wave-based and two-level parallel. The first wave
+  /// marks over the whole tree in leaf-span chunks and applies with a
+  /// chunked full rebuild; every later wave is *incremental* — it visits
+  /// only the previous wave's children (the same quadrants the recursive
+  /// descent would visit, tracked as an index list instead of a
+  /// tree-sized bitmap) and splices their children into the leaf array in
+  /// place, so sparse waves never rescan or copy the unsplit majority.
+  /// Children are produced in level-uniform batches through BatchOps<R>
+  /// throughout. Trees run in parallel on the forest pool; chunks of one
+  /// tree do too.
   template <class Fn>
   void refine(bool recursive, Fn&& should_refine) {
-    for_each_tree([&](std::size_t ti) {
-      const auto t = static_cast<tree_id_t>(ti);
-      auto& tree = trees_[ti];
-      auto* pay = payload_enabled_ ? &payloads_[ti] : nullptr;
-      // 1 where the callback still has to be consulted this wave.
-      std::vector<std::uint8_t> consider(tree.size(), 1);
-      std::vector<std::uint8_t> split;
-      while (true) {
-        split.assign(tree.size(), 0);
-        bool any = false;
-        for (std::size_t i = 0; i < tree.size(); ++i) {
-          if (!consider[i]) {
-            continue;
-          }
-          const quad_t& q = tree[i];
-          if (R::level(q) < R::max_level && should_refine(t, q)) {
-            split[i] = 1;
-            any = true;
-          }
-        }
-        if (!any) {
-          break;
-        }
-        apply_splits(tree, pay, split, recursive ? &consider : nullptr);
-        if (!recursive) {
-          break;
-        }
-      }
+    adapt_and_rebuild([&] {
+      for_each_tree([&](std::size_t ti) {
+        refine_tree(ti, recursive, should_refine);
+      });
     });
-    rebuild_offsets();
-    partition();
   }
 
   // ---------------------------------------------------------------- coarsen
@@ -280,17 +398,20 @@ class Forest {
   /// Implementation: each pass precomputes every leaf's parent and child
   /// id in level-uniform batches through BatchOps<R> plus one batched
   /// adjacent-parent equality sweep, so the family-detection scan touches
-  /// no scalar quadrant ops. Trees run in parallel on the forest pool
-  /// (coarsening never crosses tree boundaries).
+  /// no scalar quadrant ops. Complete families never overlap, so the
+  /// family detection and the callback decisions run over leaf-span
+  /// chunks in parallel (the rebuild that consumes accepted families
+  /// stays a single memory-bound sweep). Trees run in parallel on the
+  /// forest pool (coarsening never crosses tree boundaries).
   template <class Fn>
   void coarsen(bool recursive, Fn&& should_coarsen) {
-    for_each_tree([&](std::size_t ti) {
-      CoarsenScratch scratch;  // reused across recursive passes
-      while (coarsen_tree_pass(ti, should_coarsen, scratch) && recursive) {
-      }
+    adapt_and_rebuild([&] {
+      for_each_tree([&](std::size_t ti) {
+        CoarsenScratch scratch;  // reused across recursive passes
+        while (coarsen_tree_pass(ti, should_coarsen, scratch) && recursive) {
+        }
+      });
     });
-    rebuild_offsets();
-    partition();
   }
 
   // ---------------------------------------------------------------- balance
@@ -306,45 +427,56 @@ class Forest {
   /// of leaves; keys crossing a tree face are bucketed by target tree and
   /// resolved there with one sort + sorted-merge sweep over the target's
   /// leaf array. Every mark sub-phase and the split apply run per tree on
-  /// the forest pool (grids, candidate buckets and split bitmaps are all
-  /// tree-local). The scalar per-quadrant reference path is kept behind
-  /// the batch kill switch (QFOREST_NO_BATCH / batch::set_enabled(false))
-  /// so one binary can measure and cross-check both, exactly like the
-  /// kernel dispatch (see bench_balance_mark).
+  /// the forest pool AND in leaf-span chunks within each tree (split-
+  /// bitmap marks use relaxed atomic stores, everything else stays chunk-
+  /// or tree-local). MarkGrids persist across fixpoint iterations and are
+  /// rebuilt only for trees whose leaves changed in the previous apply.
+  /// The scalar per-quadrant reference path is kept behind the batch kill
+  /// switch (QFOREST_NO_BATCH / batch::set_enabled(false)) so one binary
+  /// can measure and cross-check both, exactly like the kernel dispatch
+  /// (see bench_balance_mark).
   ///
   /// An already-balanced forest is a no-op: no split, no leaf-array
   /// rebuild, no repartition.
   void balance(BalanceKind kind = BalanceKind::kFull) {
     bool any_changed = false;
     bool changed = true;
-    // Split bitmaps are hoisted out of the fixpoint loop so later
-    // iterations reuse the heap buffers instead of reallocating them.
+    // Split bitmaps, grids and the dirty list are hoisted out of the
+    // fixpoint loop so later iterations reuse the heap buffers (and the
+    // grids of unchanged trees) instead of rebuilding them.
     std::vector<std::vector<std::uint8_t>> split(trees_.size());
     std::vector<std::size_t> dirty;
-    while (changed) {
-      for (std::size_t t = 0; t < trees_.size(); ++t) {
-        split[t].assign(trees_[t].size(), 0);
-      }
-      if (batch::enabled()) {
-        mark_splits_batched(kind, split);
-      } else {
-        mark_splits_scalar(kind, split);
-      }
-      dirty.clear();
-      for (std::size_t t = 0; t < trees_.size(); ++t) {
-        if (std::find(split[t].begin(), split[t].end(), 1) !=
-            split[t].end()) {
-          dirty.push_back(t);
+    std::vector<MarkGrid> grids(trees_.size());
+    std::vector<std::uint8_t> grid_valid(trees_.size(), 0);
+    adapt_guard([&] {
+      while (changed) {
+        for (std::size_t t = 0; t < trees_.size(); ++t) {
+          split[t].assign(trees_[t].size(), 0);
+        }
+        if (batch::enabled()) {
+          mark_splits_batched(kind, split, grids, grid_valid);
+        } else {
+          mark_splits_scalar(kind, split);
+        }
+        dirty.clear();
+        for (std::size_t t = 0; t < trees_.size(); ++t) {
+          if (std::find(split[t].begin(), split[t].end(), 1) !=
+              split[t].end()) {
+            dirty.push_back(t);
+          }
+        }
+        changed = !dirty.empty();
+        any_changed |= changed;
+        parallel_over(dirty.size(), [&](std::size_t d) {
+          const std::size_t t = dirty[d];
+          apply_splits(trees_[t],
+                       payload_enabled_ ? &payloads_[t] : nullptr, split[t]);
+        });
+        for (const std::size_t t : dirty) {
+          grid_valid[t] = 0;  // leaves changed: the grid ranges are stale
         }
       }
-      changed = !dirty.empty();
-      any_changed |= changed;
-      parallel_over(dirty.size(), [&](std::size_t d) {
-        const std::size_t t = dirty[d];
-        apply_splits(trees_[t],
-                     payload_enabled_ ? &payloads_[t] : nullptr, split[t]);
-      });
-    }
+    }, any_changed);
     if (any_changed) {
       rebuild_offsets();
       partition();
@@ -690,41 +822,72 @@ class Forest {
 
   // ------------------------------------------------- batched adaptation core
 
-  /// Run fn(0..n-1) across the forest pool; 0- and 1-item loops stay on
-  /// the calling thread. The first exception a worker catches is rethrown
-  /// on the calling thread once every block finished (basic guarantee:
-  /// other trees may already have been modified, as with any mid-loop
-  /// throw).
+  /// Run fn(0..n-1) across the forest pool (tree-level scheduling); 0-
+  /// and 1-item loops stay on the calling thread, as do loops issued from
+  /// inside a pool task (reentrant forest operations). When a worker
+  /// throws, the lowest-index block's exception is rethrown
+  /// deterministically on the calling thread once every block finished
+  /// and the suppressed count is logged (basic guarantee: other trees may
+  /// already have been modified, as with any mid-loop throw).
   template <class Fn>
   static void parallel_over(std::size_t n, Fn&& fn) {
     if (n == 0) {
       return;
     }
-    if (n == 1 || !tree_parallelism() || detail::on_forest_worker()) {
+    if (n == 1 || !tree_parallelism() || detail::worker_depth() > 0) {
       for (std::size_t i = 0; i < n; ++i) {
         fn(i);
       }
       return;
     }
-    std::exception_ptr error;
-    std::mutex error_mutex;
+    detail::RegionErrors errors;
     detail::forest_pool().parallel_for(n, [&](std::size_t b, std::size_t e) {
-      detail::on_forest_worker() = true;
+      const detail::DepthScope scope(1);
       try {
         for (std::size_t i = b; i < e; ++i) {
           fn(i);
         }
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) {
-          error = std::current_exception();
-        }
+        errors.capture(b);
       }
-      detail::on_forest_worker() = false;
     });
-    if (error) {
-      std::rethrow_exception(error);
+    errors.rethrow_if_any();
+  }
+
+  /// Run fn(chunk, begin, end) over the contiguous blocks of [0, n) cut
+  /// at multiples of \p grain (intra-tree chunk scheduling). Dispatches
+  /// on the forest pool from the calling thread or from a tree-level
+  /// worker (the pool's helping wait makes the nested dispatch
+  /// deadlock-free); runs inline — with identical chunk geometry — when
+  /// parallelism is off or the caller already is a chunk worker, so chunk
+  /// workers never nest. Exceptions follow the parallel_over contract
+  /// (lowest-index chunk wins, suppressed count logged).
+  template <class Fn>
+  static void parallel_chunks(std::size_t n, std::size_t grain, Fn&& fn) {
+    if (n == 0) {
+      return;
     }
+    grain = std::max<std::size_t>(grain, 1);
+    const std::size_t chunks = batch::chunk_count(n, grain);
+    if (chunks == 1 || !tree_parallelism() || !intra_tree_parallelism() ||
+        detail::worker_depth() >= 2) {
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t b = c * grain;
+        fn(c, b, std::min(n, b + grain));
+      }
+      return;
+    }
+    detail::RegionErrors errors;
+    detail::forest_pool().parallel_for_grain(
+        n, grain, [&](std::size_t b, std::size_t e) {
+          const detail::DepthScope scope(2);
+          try {
+            fn(b / grain, b, e);
+          } catch (...) {
+            errors.capture(b);
+          }
+        });
+    errors.rethrow_if_any();
   }
 
   /// Per-tree outer loop of the adaptation algorithms.
@@ -733,102 +896,316 @@ class Forest {
     parallel_over(trees_.size(), fn);
   }
 
+  /// Shared exception-consistency wrapper of refine / coarsen / balance:
+  /// when the tree loop throws (a callback raised, or allocation failed),
+  /// some trees may already have been adapted — rebuild the offsets and
+  /// the partition before rethrowing so the forest stays structurally
+  /// consistent (is_valid() holds; the adaptation is simply partial).
+  template <class Fn>
+  void adapt_and_rebuild(Fn&& body) {
+    try {
+      body();
+    } catch (...) {
+      rebuild_offsets();
+      partition();
+      throw;
+    }
+    rebuild_offsets();
+    partition();
+  }
+
+  /// Exception-consistency guard for balance, whose success path rebuilds
+  /// conditionally (a no-op balance must not repartition): on throw,
+  /// rebuild only when some tree was already modified.
+  template <class Fn>
+  void adapt_guard(Fn&& body, const bool& modified) {
+    try {
+      body();
+    } catch (...) {
+      if (modified) {
+        rebuild_offsets();
+        partition();
+      }
+      throw;
+    }
+  }
+
+  /// One tree of refine(): wave 1 is a dense chunked mark over the whole
+  /// tree followed by a chunked full-rebuild apply; recursive waves >= 2
+  /// visit only the fresh-children index list of the previous wave and
+  /// splice the new children in place (no tree-sized bitmaps, no copy of
+  /// the unsplit majority). The non-recursive path never allocates any
+  /// wave-tracking state at all.
+  template <class Fn>
+  void refine_tree(std::size_t ti, bool recursive, Fn& should_refine) {
+    const auto t = static_cast<tree_id_t>(ti);
+    auto& tree = trees_[ti];
+    auto* pay = payload_enabled_ ? &payloads_[ti] : nullptr;
+    const std::size_t grain = chunk_grain();
+
+    // Wave 1: dense mark, chunk-parallel; the bitmap feeds the chunked
+    // full rebuild of apply_splits.
+    std::vector<std::uint8_t> split(tree.size(), 0);
+    std::atomic<bool> any{false};
+    parallel_chunks(tree.size(), grain,
+                    [&](std::size_t, std::size_t b, std::size_t e) {
+      bool local = false;
+      for (std::size_t i = b; i < e; ++i) {
+        const quad_t& q = tree[i];
+        if (R::level(q) < R::max_level && should_refine(t, q)) {
+          split[i] = 1;
+          local = true;
+        }
+      }
+      if (local) {
+        any.store(true, std::memory_order_relaxed);
+      }
+    });
+    if (!any.load(std::memory_order_relaxed)) {
+      return;
+    }
+    std::vector<std::size_t> fresh;  // new-children indices, ascending
+    apply_splits(tree, pay, split, recursive ? &fresh : nullptr);
+
+    // Waves >= 2: incremental. Mark only the fresh children; sparse
+    // waves splice their children in place (the unsplit majority is
+    // never touched), dense waves — where the new children would be a
+    // sizable fraction of the tree anyway — take the chunk-parallel
+    // full rebuild instead, whose counting pass a bitmap feeds.
+    std::vector<std::size_t> positions;
+    while (recursive && !fresh.empty()) {
+      mark_fresh(ti, fresh, should_refine, positions);
+      if (positions.empty()) {
+        break;
+      }
+      constexpr int nc = dims::num_children;
+      if (positions.size() * static_cast<std::size_t>(nc) * 4 >=
+          tree.size()) {
+        split.assign(tree.size(), 0);
+        for (const std::size_t p : positions) {
+          split[p] = 1;
+        }
+        apply_splits(tree, pay, split, &fresh);
+      } else {
+        splice_splits(tree, pay, positions, fresh);
+      }
+    }
+  }
+
+  /// Chunked mark over the fresh-children index list: collects the
+  /// (ascending) leaf indices the callback wants split into \p positions.
+  template <class Fn>
+  void mark_fresh(std::size_t ti, const std::vector<std::size_t>& fresh,
+                  Fn& should_refine, std::vector<std::size_t>& positions) {
+    const auto t = static_cast<tree_id_t>(ti);
+    const auto& tree = trees_[ti];
+    const std::size_t grain = chunk_grain();
+    std::vector<std::vector<std::size_t>> per_chunk(
+        batch::chunk_count(fresh.size(), grain));
+    parallel_chunks(fresh.size(), grain,
+                    [&](std::size_t c, std::size_t b, std::size_t e) {
+      auto& mine = per_chunk[c];
+      for (std::size_t j = b; j < e; ++j) {
+        const std::size_t i = fresh[j];
+        const quad_t& q = tree[i];
+        if (R::level(q) < R::max_level && should_refine(t, q)) {
+          mine.push_back(i);
+        }
+      }
+    });
+    positions.clear();
+    for (const auto& mine : per_chunk) {
+      positions.insert(positions.end(), mine.begin(), mine.end());
+    }
+  }
+
   /// Replace every leaf marked in \p split by its 2^d children, staged
   /// into level-uniform spans and produced through BatchOps<R> (one batch
   /// per (level, child-index) pair), then stitched back in Morton order.
-  /// Children inherit the parent's payload. When \p fresh is non-null it
-  /// is rebuilt parallel to the new leaf array with 1 exactly at newly
-  /// created children (the set a recursive refine wave re-examines).
+  /// Children inherit the parent's payload. Chunk-parallel full rebuild:
+  /// a counting pass sizes each chunk's contiguous output slice, then
+  /// every chunk stages, produces and stitches its slice independently.
+  /// When \p fresh is non-null it receives the ascending output indices
+  /// of all newly created children (the set a recursive refine wave
+  /// re-examines).
   static void apply_splits(std::vector<quad_t>& leaves,
                            std::vector<std::uint64_t>* pay,
                            const std::vector<std::uint8_t>& split,
-                           std::vector<std::uint8_t>* fresh = nullptr) {
+                           std::vector<std::size_t>* fresh = nullptr) {
     constexpr int nc = dims::num_children;
     const std::size_t n = leaves.size();
-    std::vector<std::size_t> count(
-        static_cast<std::size_t>(R::max_level) + 1, 0);
-    std::size_t total_split = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (split[i]) {
-        ++count[static_cast<std::size_t>(R::level(leaves[i]))];
-        ++total_split;
+    const std::size_t grain = chunk_grain();
+    const std::size_t nchunks = batch::chunk_count(n, grain);
+    std::vector<std::size_t> chunk_splits(nchunks, 0);
+    parallel_chunks(n, grain,
+                    [&](std::size_t c, std::size_t b, std::size_t e) {
+      std::size_t k = 0;
+      for (std::size_t i = b; i < e; ++i) {
+        k += split[i] ? 1 : 0;
       }
+      chunk_splits[c] = k;
+    });
+    // Exclusive prefix: chunk c's output slice starts where the leaves
+    // before it land — one extra (nc - 1)-wide gap per split before it.
+    std::vector<std::size_t> out_base(nchunks, 0);
+    std::vector<std::size_t> fresh_base(nchunks, 0);
+    std::size_t total_split = 0;
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      out_base[c] =
+          c * grain + total_split * static_cast<std::size_t>(nc - 1);
+      fresh_base[c] = total_split * static_cast<std::size_t>(nc);
+      total_split += chunk_splits[c];
     }
     if (total_split == 0) {
       if (fresh) {
-        fresh->assign(n, 0);
+        fresh->clear();
       }
       return;
     }
-    // Stage marked leaves per level; children of staged element j for
-    // child index c land at kids[l][c * count[l] + j].
-    std::vector<std::vector<quad_t>> staged(count.size());
-    std::vector<std::vector<quad_t>> kids(count.size());
-    for (std::size_t l = 0; l < count.size(); ++l) {
-      if (count[l] != 0) {
-        staged[l].reserve(count[l]);
-        kids[l].resize(count[l] * static_cast<std::size_t>(nc));
-      }
+    const std::size_t out_n =
+        n + total_split * static_cast<std::size_t>(nc - 1);
+    std::vector<quad_t> out(out_n);
+    std::vector<std::uint64_t> outp(pay ? out_n : 0);
+    if (fresh) {
+      fresh->assign(total_split * static_cast<std::size_t>(nc), 0);
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      if (split[i]) {
-        staged[static_cast<std::size_t>(R::level(leaves[i]))].push_back(
-            leaves[i]);
+    parallel_chunks(n, grain,
+                    [&](std::size_t c, std::size_t b, std::size_t e) {
+      // Stage this chunk's marked leaves per level; children of staged
+      // element j for child index c2 land at kids[l][c2 * count[l] + j].
+      SpanStage<R> staged;
+      for (std::size_t i = b; i < e; ++i) {
+        if (split[i]) {
+          staged.add(leaves[i]);
+        }
       }
+      std::vector<std::vector<quad_t>> kids(staged.num_levels());
+      for (std::size_t l = 0; l < staged.num_levels(); ++l) {
+        const std::size_t k = staged.count(l);
+        if (k == 0) {
+          continue;
+        }
+        kids[l].resize(k * static_cast<std::size_t>(nc));
+        for (int c2 = 0; c2 < nc; ++c2) {
+          BatchOps<R>::child_uniform(staged.span(l).data(),
+                                     kids[l].data() +
+                                         static_cast<std::size_t>(c2) * k,
+                                     k, c2, static_cast<int>(l));
+        }
+      }
+      std::size_t o = out_base[c];
+      std::size_t f = fresh_base[c];
+      std::vector<std::size_t> cursor(staged.num_levels(), 0);
+      for (std::size_t i = b; i < e; ++i) {
+        if (!split[i]) {
+          out[o] = leaves[i];
+          if (pay) {
+            outp[o] = (*pay)[i];
+          }
+          ++o;
+          continue;
+        }
+        const auto l = static_cast<std::size_t>(R::level(leaves[i]));
+        const std::size_t j = cursor[l]++;
+        const std::size_t k = staged.count(l);
+        for (int c2 = 0; c2 < nc; ++c2) {
+          out[o] = kids[l][static_cast<std::size_t>(c2) * k + j];
+          if (pay) {
+            outp[o] = (*pay)[i];
+          }
+          if (fresh) {
+            (*fresh)[f++] = o;
+          }
+          ++o;
+        }
+      }
+    });
+    leaves = std::move(out);
+    if (pay) {
+      *pay = std::move(outp);
     }
-    for (std::size_t l = 0; l < count.size(); ++l) {
-      const std::size_t k = count[l];
+  }
+
+  /// Sparse-wave apply: split exactly the leaves at the ascending
+  /// \p positions, splicing each one's 2^d children into the array in
+  /// place with a single backward shift — the leaves before the first
+  /// split position are never touched, unlike the full rebuild. Children
+  /// are still produced in level-uniform batches through BatchOps<R>.
+  /// \p fresh is replaced by the ascending output indices of the new
+  /// children.
+  static void splice_splits(std::vector<quad_t>& leaves,
+                            std::vector<std::uint64_t>* pay,
+                            const std::vector<std::size_t>& positions,
+                            std::vector<std::size_t>& fresh) {
+    constexpr int nc = dims::num_children;
+    const std::size_t m = positions.size();
+    const std::size_t n = leaves.size();
+    // Stage the split leaves per level and record each one's (level,
+    // rank-within-level) so its children can be addressed after the
+    // array contents start moving.
+    SpanStage<R> staged;
+    std::vector<std::uint8_t> lev(m);
+    std::vector<std::size_t> rank(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      const quad_t& q = leaves[positions[j]];
+      const auto l = static_cast<std::size_t>(R::level(q));
+      lev[j] = static_cast<std::uint8_t>(l);
+      rank[j] = staged.count(l);
+      staged.add(q);
+    }
+    std::vector<std::vector<quad_t>> kids(staged.num_levels());
+    for (std::size_t l = 0; l < staged.num_levels(); ++l) {
+      const std::size_t k = staged.count(l);
       if (k == 0) {
         continue;
       }
+      kids[l].resize(k * static_cast<std::size_t>(nc));
       for (int c = 0; c < nc; ++c) {
-        BatchOps<R>::child_uniform(staged[l].data(),
+        BatchOps<R>::child_uniform(staged.span(l).data(),
                                    kids[l].data() +
                                        static_cast<std::size_t>(c) * k,
                                    k, c, static_cast<int>(l));
       }
     }
-    const std::size_t out_n =
-        n + total_split * static_cast<std::size_t>(nc - 1);
-    std::vector<quad_t> out;
-    out.reserve(out_n);
-    std::vector<std::uint64_t> outp;
+    const std::size_t out_n = n + m * static_cast<std::size_t>(nc - 1);
+    leaves.resize(out_n);
     if (pay) {
-      outp.reserve(out_n);
+      pay->resize(out_n);
     }
-    if (fresh) {
-      fresh->clear();
-      fresh->reserve(out_n);
-    }
-    std::vector<std::size_t> cursor(count.size(), 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!split[i]) {
-        out.push_back(leaves[i]);
-        if (pay) {
-          outp.push_back((*pay)[i]);
-        }
-        if (fresh) {
-          fresh->push_back(0);
-        }
-        continue;
+    fresh.assign(m * static_cast<std::size_t>(nc), 0);
+    // Backward shift: process split positions last to first, moving the
+    // tail block after each one into its final place, then writing the
+    // children over the gap (which covers the parent's old slot).
+    std::size_t src = n;      // exclusive end of the next block to move
+    std::size_t dst = out_n;  // exclusive end of its destination
+    for (std::size_t j = m; j-- > 0;) {
+      const std::size_t p = positions[j];
+      const std::size_t len = src - (p + 1);
+      std::move_backward(leaves.begin() + static_cast<std::ptrdiff_t>(p + 1),
+                         leaves.begin() + static_cast<std::ptrdiff_t>(src),
+                         leaves.begin() + static_cast<std::ptrdiff_t>(dst));
+      if (pay) {
+        std::move_backward(pay->begin() + static_cast<std::ptrdiff_t>(p + 1),
+                           pay->begin() + static_cast<std::ptrdiff_t>(src),
+                           pay->begin() + static_cast<std::ptrdiff_t>(dst));
       }
-      const auto l = static_cast<std::size_t>(R::level(leaves[i]));
-      const std::size_t j = cursor[l]++;
-      const std::size_t k = count[l];
+      dst -= len;
+      const auto l = static_cast<std::size_t>(lev[j]);
+      const std::size_t k = staged.count(l);
+      const std::uint64_t parent_pay = pay ? (*pay)[p] : 0;
       for (int c = 0; c < nc; ++c) {
-        out.push_back(kids[l][static_cast<std::size_t>(c) * k + j]);
+        const std::size_t o = dst - static_cast<std::size_t>(nc - c);
+        leaves[o] = kids[l][static_cast<std::size_t>(c) * k + rank[j]];
         if (pay) {
-          outp.push_back((*pay)[i]);
+          (*pay)[o] = parent_pay;
         }
-        if (fresh) {
-          fresh->push_back(1);
-        }
+        fresh[j * static_cast<std::size_t>(nc) +
+              static_cast<std::size_t>(c)] = o;
       }
+      dst -= static_cast<std::size_t>(nc);
+      src = p;
     }
-    leaves = std::move(out);
-    if (pay) {
-      *pay = std::move(outp);
-    }
+    assert(dst == src);
   }
 
   /// Reusable buffers of coarsen_tree_pass, so recursive coarsening does
@@ -842,6 +1219,7 @@ class Forest {
     std::vector<quad_t> batch_out;
     std::vector<int> idbuf;
     std::vector<std::uint8_t> eq;
+    std::vector<std::uint8_t> accept;
   };
 
   /// One coarsen sweep over tree \p ti: batch-precompute parent, child id
@@ -902,6 +1280,29 @@ class Forest {
 
     const auto t = static_cast<tree_id_t>(ti);
     auto* pay = payload_enabled_ ? &payloads_[ti] : nullptr;
+    // Family detection + callback decisions, chunk-parallel. Complete
+    // sibling families can never overlap (a family start needs child id
+    // 0, and every later member of a family has a nonzero id), so each
+    // start's decision is independent of the scan order and chunk
+    // boundaries are safe to cut anywhere: the fam test only *reads* up
+    // to nc - 1 entries past the chunk end.
+    s.accept.assign(n, 0);
+    parallel_chunks(n, chunk_grain(),
+                    [&](std::size_t, std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        bool fam = i + static_cast<std::size_t>(nc) <= n &&
+                   s.levels[i] > 0 && s.ids[i] == 0;
+        for (int c = 1; fam && c < nc; ++c) {
+          const std::size_t j = i + static_cast<std::size_t>(c);
+          fam = s.levels[j] == s.levels[i] && s.ids[j] == c &&
+                s.eq[j - 1] != 0;
+        }
+        if (fam && should_coarsen(t, tree.data() + i)) {
+          s.accept[i] = 1;
+        }
+      }
+    });
+    // Serial rebuild consuming accepted families (memory-bound sweep).
     std::vector<quad_t> out;
     out.reserve(n);
     std::vector<std::uint64_t> outp;
@@ -911,14 +1312,7 @@ class Forest {
     bool changed = false;
     std::size_t i = 0;
     while (i < n) {
-      bool fam = i + static_cast<std::size_t>(nc) <= n &&
-                 s.levels[i] > 0 && s.ids[i] == 0;
-      for (int c = 1; fam && c < nc; ++c) {
-        const std::size_t j = i + static_cast<std::size_t>(c);
-        fam = s.levels[j] == s.levels[i] && s.ids[j] == c &&
-              s.eq[j - 1] != 0;
-      }
-      if (fam && should_coarsen(t, tree.data() + i)) {
+      if (s.accept[i]) {
         out.push_back(s.parents[i]);
         if (pay) {
           outp.push_back((*pay)[i]);  // parent takes the first child's
@@ -1036,22 +1430,32 @@ class Forest {
     std::vector<std::size_t> end;
   };
 
-  /// Batched mark phase, three tree-parallel passes with tree-local
-  /// writes only (no locks):
-  ///   1. index: build each tree's Morton-cell MarkGrid;
+  /// Batched mark phase, three tree-parallel (and within each tree
+  /// chunk-parallel) passes:
+  ///   1. index: build each tree's Morton-cell MarkGrid — only for trees
+  ///      whose leaves changed since the grid was last built (the balance
+  ///      fixpoint loop reuses grids of unchanged trees across
+  ///      iterations);
   ///   2. produce + resolve local: bulk-emit every candidate neighbor
   ///      key through BatchOps<R>::neighbor_at_offset_n over
-  ///      level-uniform spans; keys staying in the source tree (the vast
-  ///      majority) resolve immediately against its MarkGrid, keys that
-  ///      cross a tree face are bucketed by target tree;
+  ///      level-uniform spans staged per leaf chunk; keys staying in the
+  ///      source tree (the vast majority) resolve immediately against its
+  ///      MarkGrid (split marks are relaxed atomic stores — chunks of one
+  ///      tree may mark the same leaf), keys that cross a tree face are
+  ///      bucketed per chunk and merged per target tree;
   ///   3. resolve remote: each target tree sorts its incoming bucket and
-  ///      resolves it with one sorted-merge sweep over its leaf array.
-  void mark_splits_batched(
-      BalanceKind kind, std::vector<std::vector<std::uint8_t>>& split) const {
+  ///      resolves it with a sorted-merge sweep, itself cut into key
+  ///      chunks that each start from one binary search.
+  void mark_splits_batched(BalanceKind kind,
+                           std::vector<std::vector<std::uint8_t>>& split,
+                           std::vector<MarkGrid>& grids,
+                           std::vector<std::uint8_t>& grid_valid) const {
     const std::size_t nt = trees_.size();
-    std::vector<MarkGrid> grids(nt);
     parallel_over(nt, [&](std::size_t ti) {
-      build_mark_grid(ti, grids[ti]);
+      if (!grid_valid[ti]) {
+        build_mark_grid(ti, grids[ti]);
+        grid_valid[ti] = 1;
+      }
     });
     std::vector<std::vector<MarkBucket>> cand(nt);
     parallel_over(nt, [&](std::size_t ti) {
@@ -1127,79 +1531,100 @@ class Forest {
 
   /// Phase 2 worker: stage tree \p t's leaves into level-uniform spans
   /// (leaves of level < 2 emit nothing — their neighbors can never be two
-  /// levels coarser) and emit every neighbor-offset key in bulk. Keys
-  /// staying inside the tree resolve against the MarkGrid on the spot;
-  /// keys crossing a tree face are wrapped into the neighbor tree's frame
-  /// and bucketed by target. Keys leaving the physical domain are
-  /// dropped. A periodic wrap back into the source tree counts as local
-  /// (target == t) and also resolves here.
+  /// levels coarser) and emit every neighbor-offset key in bulk. The
+  /// tree's leaf array is cut into chunks; each chunk stages its own
+  /// leaves and processes its own spans. Keys staying inside the tree
+  /// resolve against the (shared, read-only) MarkGrid on the spot with
+  /// relaxed atomic split marks; keys crossing a tree face are wrapped
+  /// into the neighbor tree's frame and bucketed per chunk, merged into
+  /// \p out afterwards. Keys leaving the physical domain are dropped. A
+  /// periodic wrap back into the source tree counts as local (target ==
+  /// t) and also resolves here.
   void produce_and_mark_local(tree_id_t t, BalanceKind kind,
                               const MarkGrid& grid,
                               std::vector<std::uint8_t>& split,
                               std::vector<MarkBucket>& out) const {
     const auto ti = static_cast<std::size_t>(t);
     const auto& tree = trees_[ti];
-    std::vector<std::vector<quad_t>> staged(
-        static_cast<std::size_t>(R::max_level) + 1);
-    for (const quad_t& q : tree) {
-      const int lvl = R::level(q);
-      if (lvl >= 2) {
-        staged[static_cast<std::size_t>(lvl)].push_back(q);
-      }
-    }
     const std::int64_t root = std::int64_t{1} << kCanonicalLevel;
-    std::vector<std::int64_t> ox, oy, oz;
-    auto bucket_for = [&](tree_id_t target) -> std::vector<quad_t>& {
-      // Linear scan: a tree has at most 3^dim - 1 distinct targets.
-      for (MarkBucket& b : out) {
-        if (b.tree == target) {
-          return b.quads;
-        }
-      }
-      out.push_back(MarkBucket{target, {}});
-      return out.back().quads;
-    };
-    for (std::size_t l = 2; l < staged.size(); ++l) {
-      const auto& span = staged[l];
-      if (span.empty()) {
-        continue;
-      }
-      ox.resize(span.size());
-      oy.resize(span.size());
-      oz.resize(span.size());
-      for_each_neighbor_offset(kind, [&](int dx, int dy, int dz) {
-        BatchOps<R>::neighbor_at_offset_n(span.data(), ox.data(), oy.data(),
-                                          oz.data(), span.size(), dx, dy,
-                                          dz, static_cast<int>(l));
-        for (std::size_t i = 0; i < span.size(); ++i) {
-          std::int64_t pos[3] = {ox[i], oy[i], oz[i]};
-          std::array<int, 3> step = {0, 0, 0};
-          for (int a = 0; a < dim; ++a) {
-            if (pos[a] < 0) {
-              step[a] = -1;
-              pos[a] += root;
-            } else if (pos[a] >= root) {
-              step[a] = 1;
-              pos[a] -= root;
-            }
-          }
-          tree_id_t target = t;
-          if (step[0] != 0 || step[1] != 0 || step[2] != 0) {
-            target =
-                conn_.tree_offset_neighbor(t, step[0], step[1], step[2]);
-            if (target < 0) {
-              continue;  // physical boundary
-            }
-          }
-          const CanonicalQuadrant nc{pos[0], pos[1], pos[2],
-                                     static_cast<int>(l)};
-          if (target == t) {
-            resolve_mark(ti, grid, nc, split);
-          } else {
-            bucket_for(target).push_back(from_canonical<R>(nc));
+    const std::size_t grain = chunk_grain();
+    std::vector<std::vector<MarkBucket>> chunk_out(
+        batch::chunk_count(tree.size(), grain));
+    parallel_chunks(tree.size(), grain,
+                    [&](std::size_t c, std::size_t cb, std::size_t ce) {
+      auto& mine = chunk_out[c];
+      auto bucket_for = [&](tree_id_t target) -> std::vector<quad_t>& {
+        // Linear scan: a tree has at most 3^dim - 1 distinct targets.
+        for (MarkBucket& b : mine) {
+          if (b.tree == target) {
+            return b.quads;
           }
         }
-      });
+        mine.push_back(MarkBucket{target, {}});
+        return mine.back().quads;
+      };
+      SpanStage<R> staged;
+      for (std::size_t i = cb; i < ce; ++i) {
+        if (R::level(tree[i]) >= 2) {
+          staged.add(tree[i]);
+        }
+      }
+      std::vector<std::int64_t> ox, oy, oz;
+      for (std::size_t l = 2; l < staged.num_levels(); ++l) {
+        const auto& span = staged.span(l);
+        if (span.empty()) {
+          continue;
+        }
+        ox.resize(span.size());
+        oy.resize(span.size());
+        oz.resize(span.size());
+        for_each_neighbor_offset(kind, [&](int dx, int dy, int dz) {
+          BatchOps<R>::neighbor_at_offset_n(span.data(), ox.data(),
+                                            oy.data(), oz.data(),
+                                            span.size(), dx, dy, dz,
+                                            static_cast<int>(l));
+          for (std::size_t i = 0; i < span.size(); ++i) {
+            std::int64_t pos[3] = {ox[i], oy[i], oz[i]};
+            std::array<int, 3> step = {0, 0, 0};
+            for (int a = 0; a < dim; ++a) {
+              if (pos[a] < 0) {
+                step[a] = -1;
+                pos[a] += root;
+              } else if (pos[a] >= root) {
+                step[a] = 1;
+                pos[a] -= root;
+              }
+            }
+            tree_id_t target = t;
+            if (step[0] != 0 || step[1] != 0 || step[2] != 0) {
+              target =
+                  conn_.tree_offset_neighbor(t, step[0], step[1], step[2]);
+              if (target < 0) {
+                continue;  // physical boundary
+              }
+            }
+            const CanonicalQuadrant nc{pos[0], pos[1], pos[2],
+                                       static_cast<int>(l)};
+            if (target == t) {
+              resolve_mark(ti, grid, nc, split);
+            } else {
+              bucket_for(target).push_back(from_canonical<R>(nc));
+            }
+          }
+        });
+      }
+    });
+    for (auto& mine : chunk_out) {
+      for (MarkBucket& b : mine) {
+        auto it = std::find_if(out.begin(), out.end(), [&](const MarkBucket& o) {
+          return o.tree == b.tree;
+        });
+        if (it == out.end()) {
+          out.push_back(std::move(b));
+        } else {
+          it->quads.insert(it->quads.end(), b.quads.begin(), b.quads.end());
+        }
+      }
     }
   }
 
@@ -1209,7 +1634,10 @@ class Forest {
   /// whenever an enclosure exists (an out-of-range predecessor cannot be
   /// an ancestor — ancestors contain the corner and hence the cell).
   /// Marks the enclosing leaf when it is two or more levels coarser than
-  /// the key (a 2:1 violation).
+  /// the key (a 2:1 violation). The mark is a relaxed atomic store:
+  /// concurrent chunk workers of one tree may mark the same leaf, and
+  /// all stores write the same value (the bitmap is only read after the
+  /// parallel region completes).
   void resolve_mark(std::size_t ti, const MarkGrid& g,
                     const CanonicalQuadrant& nc,
                     std::vector<std::uint8_t>& split) const {
@@ -1233,38 +1661,52 @@ class Forest {
     const quad_t& leaf = tree[idx];
     if (R::level(leaf) < nc.level - 1 &&
         (R::equal(leaf, key) || R::is_ancestor(leaf, key))) {
-      split[idx] = 1;
+      std::atomic_ref<std::uint8_t>(split[idx])
+          .store(1, std::memory_order_relaxed);
     }
   }
 
-  /// Phase 2 worker: the sorted-merge replacement of per-candidate
+  /// Phase 3 worker: the sorted-merge replacement of per-candidate
   /// find_enclosing_leaf. Keys and the leaf array are both sorted by
   /// R::less ("ancestors before descendants" curve order), so the index
   /// of the last leaf <= key — the only possible enclosure, exactly what
   /// upper_bound - 1 yields — advances monotonically and one sweep
-  /// resolves every key. The enclosing leaf is marked when it is two or
-  /// more levels coarser than the key (a 2:1 violation); keys whose
-  /// region is covered by finer leaves have no enclosure and mark
-  /// nothing.
+  /// resolves every key. The sweep is cut into key chunks; each chunk
+  /// seeds its cursor with one binary search on its first key and then
+  /// advances monotonically, marking via relaxed atomic stores (adjacent
+  /// chunks can resolve to the same leaf). The enclosing leaf is marked
+  /// when it is two or more levels coarser than the key (a 2:1
+  /// violation); keys whose region is covered by finer leaves have no
+  /// enclosure and mark nothing.
   void mark_enclosing_merge(std::size_t ti, const std::vector<quad_t>& keys,
                             std::vector<std::uint8_t>& split) const {
     const auto& tree = trees_[ti];
     const auto n = static_cast<std::ptrdiff_t>(tree.size());
-    std::ptrdiff_t j = -1;  // last leaf with tree[j] <= key; -1: none yet
-    for (const quad_t& key : keys) {
-      while (j + 1 < n &&
-             !R::less(key, tree[static_cast<std::size_t>(j + 1)])) {
-        ++j;
+    parallel_chunks(keys.size(), chunk_grain(),
+                    [&](std::size_t, std::size_t b, std::size_t e) {
+      // Last leaf <= keys[b] (-1: none): upper_bound yields the first
+      // leaf strictly greater, the candidate enclosure sits before it.
+      std::ptrdiff_t j =
+          std::upper_bound(tree.begin(), tree.end(), keys[b],
+                           RepLess<R>{}) -
+          tree.begin() - 1;
+      for (std::size_t kk = b; kk < e; ++kk) {
+        const quad_t& key = keys[kk];
+        while (j + 1 < n &&
+               !R::less(key, tree[static_cast<std::size_t>(j + 1)])) {
+          ++j;
+        }
+        if (j < 0) {
+          continue;
+        }
+        const quad_t& leaf = tree[static_cast<std::size_t>(j)];
+        if (R::level(leaf) < R::level(key) - 1 &&
+            (R::equal(leaf, key) || R::is_ancestor(leaf, key))) {
+          std::atomic_ref<std::uint8_t>(split[static_cast<std::size_t>(j)])
+              .store(1, std::memory_order_relaxed);
+        }
       }
-      if (j < 0) {
-        continue;
-      }
-      const quad_t& leaf = tree[static_cast<std::size_t>(j)];
-      if (R::level(leaf) < R::level(key) - 1 &&
-          (R::equal(leaf, key) || R::is_ancestor(leaf, key))) {
-        split[static_cast<std::size_t>(j)] = 1;
-      }
-    }
+    });
   }
 
   /// Call \p fn(leaf_index) for every leaf of the neighbor lookup's tree

@@ -46,23 +46,124 @@ void ThreadPool::parallel_for(
   if (n == 0) {
     return;
   }
+  const std::size_t chunks = std::min<std::size_t>(size(), n);
+  parallel_for_grain(n, (n + chunks - 1) / chunks, fn);
+}
+
+void ThreadPool::parallel_for_grain(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t tasks = (n + grain - 1) / grain;
+  if (tasks == 1) {
+    fn(0, n);
+    return;
+  }
   // Per-call completion latch: waiting for global pool quiescence
   // (wait_idle) would couple concurrent parallel_for callers — one
-  // caller's fast loop would block for another's slow one.
-  const std::size_t chunks = std::min<std::size_t>(size(), n);
-  const std::size_t per = (n + chunks - 1) / chunks;
-  const std::size_t tasks = (n + per - 1) / per;
-  const auto latch =
-      std::make_shared<std::latch>(static_cast<std::ptrdiff_t>(tasks));
+  // caller's fast loop would block for another's slow one. The error slot
+  // lives next to it so a throwing block is reported to the caller that
+  // *owns* the region, not to whichever thread happened to execute it
+  // (the helping wait runs blocks of other callers).
+  struct CallState {
+    std::latch latch;
+    std::mutex mutex;
+    std::exception_ptr error;
+    std::size_t error_begin = 0;
+    explicit CallState(std::ptrdiff_t t) : latch(t) {}
+  };
+  const auto state =
+      std::make_shared<CallState>(static_cast<std::ptrdiff_t>(tasks));
   for (std::size_t c = 0; c < tasks; ++c) {
-    const std::size_t begin = c * per;
-    const std::size_t end = std::min(n, begin + per);
-    submit([fn, begin, end, latch] {
-      fn(begin, end);
-      latch->count_down();
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    submit([fn, begin, end, state] {
+      // Count down even when fn throws: an abandoned latch would hang
+      // this call's waiter forever.
+      struct CountDown {
+        std::latch* l;
+        ~CountDown() { l->count_down(); }
+      } guard{&state->latch};
+      try {
+        fn(begin, end);
+      } catch (...) {
+        // Deterministic winner: the lowest-index block's exception is the
+        // one rethrown to the owning waiter; later ones are dropped.
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        if (!state->error || begin < state->error_begin) {
+          state->error = std::current_exception();
+          state->error_begin = begin;
+        }
+      }
     });
   }
-  latch->wait();
+  // Helping wait: executing queued tasks (ours or another caller's) keeps
+  // the pool deadlock-free under nesting — every open latch has its
+  // remaining blocks either queued (some helper will pop them) or already
+  // executing, and the spawn graph is acyclic, so progress is guaranteed.
+  // parallel_for_grain blocks never throw out of try_run_one (they store
+  // into their own CallState above); an escaping exception can only come
+  // from a task enqueued via raw submit(). It must not unwind past our
+  // own latch (our blocks may still be running and reference fn's
+  // captures), so the first one is held back and rethrown once every
+  // block finished.
+  std::exception_ptr helped_error;
+  while (!state->latch.try_wait()) {
+    bool ran = false;
+    try {
+      ran = try_run_one();
+    } catch (...) {
+      if (!helped_error) {
+        helped_error = std::current_exception();
+      }
+      continue;
+    }
+    if (!ran) {
+      state->latch.wait();
+      break;
+    }
+  }
+  if (state->error) {
+    std::rethrow_exception(state->error);
+  }
+  if (helped_error) {
+    std::rethrow_exception(helped_error);
+  }
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) {
+      return false;
+    }
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  run_accounted(task);
+  return true;
+}
+
+void ThreadPool::run_accounted(std::function<void()>& task) {
+  // Keep the in-flight accounting exception-safe: a throwing task must
+  // not wedge wait_idle (and the helping wait) forever. On a worker
+  // thread an uncaught throw still terminates (no one to rethrow to),
+  // but never with the in-flight count wedged.
+  struct Account {
+    ThreadPool* pool;
+    ~Account() {
+      const std::lock_guard<std::mutex> lock(pool->mutex_);
+      --pool->in_flight_;
+      if (pool->in_flight_ == 0) {
+        pool->cv_idle_.notify_all();
+      }
+    }
+  } guard{this};
+  task();
 }
 
 void ThreadPool::worker_loop() {
@@ -80,14 +181,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) {
-        cv_idle_.notify_all();
-      }
-    }
+    run_accounted(task);
   }
 }
 

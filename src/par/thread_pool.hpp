@@ -44,8 +44,31 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Chunked submit: run fn(begin, end) over [0, n) in blocks of exactly
+  /// \p grain elements (the last block may be shorter) and wait for these
+  /// blocks only. The waiting thread *helps*: while its latch is open it
+  /// executes queued tasks instead of blocking, so nested parallel_for /
+  /// parallel_for_grain calls from inside a pool task are safe — a fixed
+  /// pool whose workers all wait on inner latches would otherwise
+  /// deadlock with the inner blocks still queued. When fn throws, the
+  /// lowest-index block's exception is rethrown on the calling thread
+  /// once every block finished — to *this* call's caller even when the
+  /// block actually ran on another caller's helping thread; further
+  /// exceptions of the same call are dropped.
+  void parallel_for_grain(
+      std::size_t n, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
  private:
   void worker_loop();
+
+  /// Pop and execute one queued task on the calling thread; false when the
+  /// queue is empty.
+  bool try_run_one();
+
+  /// Execute \p task with exception-safe in-flight accounting (shared by
+  /// worker_loop and try_run_one).
+  void run_accounted(std::function<void()>& task);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -79,6 +81,77 @@ TEST(ThreadPool, ParallelForCoversRangeDisjointly) {
   for (auto& h : hits) {
     EXPECT_EQ(h.load(), 1);
   }
+}
+
+TEST(ThreadPool, ParallelForGrainExactBlockGeometry) {
+  ThreadPool pool(3);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(100);
+    std::atomic<int> blocks{0};
+    pool.parallel_for_grain(100, grain, [&](std::size_t b, std::size_t e) {
+      EXPECT_EQ(b % grain, 0u);
+      EXPECT_TRUE(e - b == grain || e == 100u);
+      blocks.fetch_add(1);
+      for (std::size_t i = b; i < e; ++i) {
+        hits[i].fetch_add(1);
+      }
+    });
+    for (auto& h : hits) {
+      EXPECT_EQ(h.load(), 1);
+    }
+    const int expected =
+        static_cast<int>((100 + grain - 1) / grain);
+    EXPECT_EQ(blocks.load(), expected);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Every worker of a tiny pool issues its own inner parallel_for; the
+  // helping wait must execute the queued inner blocks instead of letting
+  // all workers block on their latches.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      pool.parallel_for_grain(10, 2, [&](std::size_t ib, std::size_t ie) {
+        inner_total.fetch_add(static_cast<int>(ie - ib));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ThreadPool, ParallelForGrainRethrowsLowestIndexBlockToOwner) {
+  // Exceptions are routed to the call that owns the region (even when a
+  // block executes on another caller's helping thread) and the winner is
+  // deterministic: the lowest-index throwing block.
+  ThreadPool pool(2);
+  for (int rep = 0; rep < 25; ++rep) {
+    bool caught = false;
+    try {
+      pool.parallel_for_grain(8, 1, [](std::size_t b, std::size_t) {
+        if (b >= 2) {
+          throw std::runtime_error("block " + std::to_string(b));
+        }
+      });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "block 2");
+    }
+    EXPECT_TRUE(caught);
+  }
+}
+
+TEST(ThreadPool, SingleWorkerNestedStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.parallel_for_grain(4, 1, [&](std::size_t, std::size_t) {
+    pool.parallel_for_grain(6, 3, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(static_cast<int>(e - b));
+    });
+  });
+  EXPECT_EQ(total.load(), 24);
 }
 
 TEST(ThreadPool, ReusableAcrossWaves) {
