@@ -6,11 +6,13 @@
 /// is called in a loop over the quadrants and its output is folded into a
 /// local sink variable "to prevent subsequent memory access".
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "core/batch_ops.hpp"
 #include "core/canonical.hpp"
 #include "core/types.hpp"
 #include "util/random.hpp"
@@ -55,12 +57,37 @@ struct Workload {
   std::vector<typename R::quad_t> quads;
   std::vector<WorkItem> items;  ///< parallel to quads
 
+  /// Built through the bulk de-interleave kernel: items are grouped per
+  /// level (morton_quadrant_n takes level-uniform runs), converted in
+  /// bulk, and scattered back to their original slots.
   static Workload build(const std::vector<WorkItem>& items) {
     Workload w;
     w.items = items;
-    w.quads.reserve(items.size());
+    w.quads.resize(items.size());
+    int max_level = 0;
     for (const WorkItem& it : items) {
-      w.quads.push_back(R::morton_quadrant(it.level_index, it.level));
+      max_level = std::max<int>(max_level, it.level);
+    }
+    std::vector<morton_t> il;
+    std::vector<std::size_t> slots;
+    std::vector<typename R::quad_t> quads;
+    for (int lvl = 0; lvl <= max_level; ++lvl) {
+      il.clear();
+      slots.clear();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (items[i].level == lvl) {
+          il.push_back(items[i].level_index);
+          slots.push_back(i);
+        }
+      }
+      if (il.empty()) {
+        continue;
+      }
+      quads.resize(il.size());
+      BatchOps<R>::morton_quadrant_n(il.data(), quads.data(), il.size(), lvl);
+      for (std::size_t k = 0; k < slots.size(); ++k) {
+        w.quads[slots[k]] = quads[k];
+      }
     }
     return w;
   }

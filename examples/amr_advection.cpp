@@ -10,6 +10,7 @@
 /// pointwise error of the analytically known solution) and an ASCII film
 /// strip of the moving refinement window.
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -128,8 +129,9 @@ int main(int argc, char** argv) {
     forest.balance(BalanceKind::kFull);
     forest.partition();
 
-    // Mesh interrogation: count conforming and hanging faces.
-    gidx_t faces = 0, hanging = 0;
+    // Mesh interrogation: count conforming and hanging faces (the
+    // callback is invoked concurrently, hence the atomics).
+    std::atomic<gidx_t> faces{0}, hanging{0};
     forest.iterate_faces([&](const FaceInfo<R>& info) {
       faces += 1;
       hanging += info.is_hanging ? 1 : 0;

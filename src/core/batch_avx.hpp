@@ -342,6 +342,67 @@ class AvxBatch {
 #endif
   }
 
+  /// out[i] = morton_quadrant(il[i], lvl): bulk de-interleave of
+  /// level-relative Morton indices (paper Algorithm 11). Unlike the other
+  /// kernels this one works in 64-bit lanes — [y1, x1, y0, x0] for two
+  /// indices per register — because the per-bit extract/shift runs on the
+  /// full 64-bit index; z (3D) is accumulated scalar, matching the scalar
+  /// algorithm's split. Requires 0 <= lvl <= max_level and Dim * lvl < 64.
+  static void morton_quadrant_n(const morton_t* il, quad_t* out,
+                                std::size_t n, int lvl) {
+#if QFOREST_HAVE_AVX2
+    const auto up = static_cast<unsigned>(rep::max_level - lvl);
+    alignas(32) std::uint64_t lanes[4];
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+      const __m256i ilvec = _mm256_set_epi64x(
+          static_cast<long long>(il[i + 1]),
+          static_cast<long long>(il[i + 1]),
+          static_cast<long long>(il[i]), static_cast<long long>(il[i]));
+      __m256i accxy = _mm256_setzero_si256();
+      std::uint64_t accz0 = 0, accz1 = 0;
+      for (int b = 0; b < lvl; ++b) {
+        const int xid = Dim * b;
+        const int xcrd = (Dim - 1) * b;
+        const __m256i extid = _mm256_set_epi64x(
+            static_cast<long long>(std::uint64_t{1} << (xid + 1)),
+            static_cast<long long>(std::uint64_t{1} << xid),
+            static_cast<long long>(std::uint64_t{1} << (xid + 1)),
+            static_cast<long long>(std::uint64_t{1} << xid));
+        const __m256i counts =
+            _mm256_set_epi64x(xcrd + 1, xcrd, xcrd + 1, xcrd);
+        accxy = _mm256_or_si256(
+            accxy,
+            _mm256_srlv_epi64(_mm256_and_si256(ilvec, extid), counts));
+        if constexpr (Dim == 3) {
+          accz0 |= (il[i] & (std::uint64_t{1} << (xid + 2))) >> (xcrd + 2);
+          accz1 |=
+              (il[i + 1] & (std::uint64_t{1} << (xid + 2))) >> (xcrd + 2);
+        }
+      }
+      // Relate the coordinates to max_level while still packed, then
+      // assemble each quadrant with its level lane.
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                         _mm256_slli_epi64(accxy, static_cast<int>(up)));
+      out[i] = quad_t::set32(static_cast<std::uint32_t>(lvl),
+                             static_cast<std::uint32_t>(accz0) << up,
+                             static_cast<std::uint32_t>(lanes[1]),
+                             static_cast<std::uint32_t>(lanes[0]));
+      out[i + 1] = quad_t::set32(static_cast<std::uint32_t>(lvl),
+                                 static_cast<std::uint32_t>(accz1) << up,
+                                 static_cast<std::uint32_t>(lanes[3]),
+                                 static_cast<std::uint32_t>(lanes[2]));
+    }
+    for (; i < n; ++i) {
+      out[i] = rep::morton_quadrant(il[i], lvl);
+    }
+#else
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = rep::morton_quadrant(il[i], lvl);
+    }
+#endif
+  }
+
   /// True when this build uses real 256-bit registers.
   static constexpr bool vectorized() { return QFOREST_HAVE_AVX2 != 0; }
 

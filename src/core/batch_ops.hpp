@@ -100,6 +100,42 @@ class SpanStage {
   std::vector<std::vector<quad_t>> spans_;
 };
 
+/// SpanStage variant that also records each staged quadrant's source index
+/// (its position in the originating leaf array), so span consumers can
+/// refer back to the source leaf — the read-path sweeps (ghost layer, face
+/// iteration) emit results keyed by leaf index, not by quadrant value.
+template <class R>
+class IndexedSpanStage {
+ public:
+  using quad_t = typename R::quad_t;
+
+  IndexedSpanStage()
+      : spans_(static_cast<std::size_t>(R::max_level) + 1),
+        sources_(static_cast<std::size_t>(R::max_level) + 1) {}
+
+  void add(const quad_t& q, std::size_t source) {
+    const auto l = static_cast<std::size_t>(R::level(q));
+    spans_[l].push_back(q);
+    sources_[l].push_back(source);
+  }
+
+  [[nodiscard]] std::size_t num_levels() const { return spans_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t level) const {
+    return spans_[level].size();
+  }
+  [[nodiscard]] const std::vector<quad_t>& span(std::size_t level) const {
+    return spans_[level];
+  }
+  [[nodiscard]] const std::vector<std::size_t>& sources(
+      std::size_t level) const {
+    return sources_[level];
+  }
+
+ private:
+  std::vector<std::vector<quad_t>> spans_;
+  std::vector<std::vector<std::size_t>> sources_;
+};
+
 /// Generic scalar bodies, shared by the primary template and by the SIMD
 /// specializations as their portable fallback path.
 template <class R>
@@ -188,6 +224,13 @@ struct ScalarBatch {
       oz[i] = c.z + dz * h;
     }
   }
+
+  static void morton_quadrant_n(const morton_t* il, quad_t* out,
+                                std::size_t n, int level) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = R::morton_quadrant(il[i], level);
+    }
+  }
 };
 
 /// Primary template: every representation gets the scalar-loop bodies.
@@ -204,9 +247,12 @@ struct ScalarBatch {
 ///   less_mask(a, b, out, n)                   out[i] = less(a[i], b[i])
 ///   neighbor_at_offset_n(in, ox, oy, oz, n, dx, dy, dz, level)
 ///       (ox,oy,oz)[i] = canonical(in[i]) + (dx,dy,dz) * h_canonical(level)
+///   morton_quadrant_n(il, out, n, level)      out[i] = morton_quadrant(il[i], level)
 /// `level` is the uniform level of every element of `in` (callers stage
 /// level-uniform spans); first_descendant_n, equal_mask and less_mask
-/// accept mixed levels.
+/// accept mixed levels. morton_quadrant_n takes level-relative Morton
+/// *indices* instead of quadrants (the bulk producer of new_uniform and
+/// workload builders) and requires dim * level < 64.
 ///
 /// neighbor_at_offset_n is the bulk producer of the balance mark phase: it
 /// emits the *canonical-grid* (2^60, core/canonical.hpp) lower corner of
@@ -334,6 +380,15 @@ struct BatchOps<AvxRep<Dim>> {
     } else {
       scalar_kernels::neighbor_at_offset_n(in, ox, oy, oz, n, dx, dy, dz,
                                            level);
+    }
+  }
+
+  static void morton_quadrant_n(const morton_t* il, quad_t* out,
+                                std::size_t n, int level) {
+    if (simd_active()) {
+      simd_kernels::morton_quadrant_n(il, out, n, level);
+    } else {
+      scalar_kernels::morton_quadrant_n(il, out, n, level);
     }
   }
 };

@@ -61,6 +61,7 @@
 #include "core/rep_traits.hpp"
 #include "core/types.hpp"
 #include "forest/connectivity.hpp"
+#include "forest/point_query.hpp"
 #include "par/communicator.hpp"
 #include "par/thread_pool.hpp"
 #include "util/log.hpp"
@@ -275,9 +276,12 @@ class Forest {
     return new_uniform(std::move(conn), 0, num_ranks);
   }
 
-  /// Uniformly refined forest at \p level, built per tree by repeated
-  /// Morton construction (this is the workload of the paper's §3.2 memory
-  /// experiment).
+  /// Uniformly refined forest at \p level, built by Morton construction
+  /// (this is the workload of the paper's §3.2 memory experiment). The
+  /// leaf production is batched: the first tree is built chunk-parallel
+  /// through BatchOps<R>::morton_quadrant_n (bulk de-interleave of the
+  /// consecutive level indices) and the remaining trees — identical at a
+  /// uniform level — are copies.
   static Forest new_uniform(Connectivity conn, int level, int num_ranks = 1) {
     if (conn.dim() != dim) {
       throw std::invalid_argument("Forest: connectivity dimension mismatch");
@@ -286,12 +290,22 @@ class Forest {
       throw std::invalid_argument("Forest: level out of range");
     }
     Forest f(std::move(conn), num_ranks);
-    const auto n = static_cast<std::uint64_t>(1)
-                   << (static_cast<unsigned>(dim * level));
-    for (auto& tree : f.trees_) {
-      tree.reserve(n);
-      for (std::uint64_t i = 0; i < n; ++i) {
-        tree.push_back(R::morton_quadrant(i, level));
+    const auto n = static_cast<std::size_t>(std::uint64_t{1}
+                   << (static_cast<unsigned>(dim * level)));
+    if (!f.trees_.empty()) {
+      auto& front = f.trees_.front();
+      front.resize(n);
+      parallel_chunks(n, chunk_grain(),
+                      [&](std::size_t, std::size_t b, std::size_t e) {
+        std::vector<morton_t> il(e - b);
+        for (std::size_t i = b; i < e; ++i) {
+          il[i - b] = static_cast<morton_t>(i);
+        }
+        BatchOps<R>::morton_quadrant_n(il.data(), front.data() + b, e - b,
+                                       level);
+      });
+      for (std::size_t t = 1; t < f.trees_.size(); ++t) {
+        f.trees_[t] = front;
       }
     }
     f.rebuild_offsets();
@@ -564,29 +578,23 @@ class Forest {
   // ---------------------------------------------------------------- ghost
 
   /// Remote leaves adjacent (faces, edges and corners) to \p rank's own.
+  ///
+  /// Batched (the default): the rank's leaf subrange of each involved
+  /// tree is staged into level-uniform spans per leaf chunk, every
+  /// neighbor key is produced in bulk through
+  /// BatchOps<R>::neighbor_at_offset_n, keys staying in their source tree
+  /// resolve against a per-tree Morton-cell grid (MarkGrid) and keys
+  /// crossing a tree face are bucketed per target tree and resolved with
+  /// one sort + sorted-merge sweep — the read-side twin of the balance
+  /// mark phase. Trees and leaf chunks run in parallel on the forest
+  /// pool. The pre-batching scalar path (one neighbor_at_offset + binary
+  /// search per (leaf, offset) pair) is kept behind the batch kill switch
+  /// (QFOREST_NO_BATCH / batch::set_enabled(false)) as the parity
+  /// reference; both produce the identical ghost set.
   [[nodiscard]] GhostLayer<R> ghost_layer(int rank) const {
     GhostLayer<R> ghost;
     const auto [first, last] = rank_range(rank);
-    std::vector<gidx_t> seen;
-    for (gidx_t g = first; g < last; ++g) {
-      const auto [t, i] = locate(g);
-      const quad_t& q = trees_[static_cast<std::size_t>(t)][i];
-      for_each_neighbor_offset(BalanceKind::kFull,
-                               [&](int dx, int dy, int dz) {
-        const auto nb = neighbor_at_offset(t, q, dx, dy, dz);
-        if (!nb.has_value()) {
-          return;
-        }
-        collect_touching_leaves(*nb, t, q, [&](std::size_t leaf_idx) {
-          const gidx_t lg = global_index(nb->tree, leaf_idx);
-          if (lg < first || lg >= last) {
-            seen.push_back(lg);
-          }
-        });
-      });
-    }
-    std::sort(seen.begin(), seen.end());
-    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    const std::vector<gidx_t> seen = adjacency_scan(first, last, false);
     ghost.entries.reserve(seen.size());
     for (gidx_t g : seen) {
       const auto [t, i] = locate(g);
@@ -598,23 +606,14 @@ class Forest {
 
   /// Mirror leaves of \p rank: the rank's own leaves that appear in some
   /// other rank's ghost layer (the data it must send in an exchange).
-  /// Returned as sorted global indices.
+  /// Returned as sorted global indices. One pass over the rank's own
+  /// leaves: the touch relation underlying the ghost layer is symmetric,
+  /// so "appears in some other rank's ghost layer" equals "touches at
+  /// least one leaf outside the rank's range" — no per-rank ghost_layer
+  /// recomputation (the old O(ranks x ghost-scan) shape).
   [[nodiscard]] std::vector<gidx_t> mirrors(int rank) const {
-    std::vector<gidx_t> out;
     const auto [first, last] = rank_range(rank);
-    for (int r = 0; r < comm_.size(); ++r) {
-      if (r == rank) {
-        continue;
-      }
-      for (const auto& e : ghost_layer(r).entries) {
-        if (e.global_index >= first && e.global_index < last) {
-          out.push_back(e.global_index);
-        }
-      }
-    }
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
-    return out;
+    return adjacency_scan(first, last, true);
   }
 
   /// Simulated ghost data exchange (p4est_ghost_exchange_data): fill each
@@ -648,14 +647,123 @@ class Forest {
     }
   }
 
+  /// Batched point location: the global index of the leaf containing each
+  /// query point, in input order. Coordinates are canonical (2^60 grid;
+  /// see point_query.hpp for the shared-boundary convention). Throws
+  /// std::invalid_argument when a query lies outside its tree's domain.
+  ///
+  /// Batched (the default): queries are grouped per tree, each group is
+  /// sorted in curve order and resolved with one chunked sorted-merge
+  /// sweep over the tree's leaf array — the last-leaf-<=-key cursor
+  /// advances monotonically with the keys, the same trick that resolves
+  /// the cross-tree balance keys — so resolving m points costs one sort
+  /// plus one sweep instead of m whole-tree binary searches. Trees and
+  /// key chunks run in parallel on the forest pool. The per-point scalar
+  /// path (one upper_bound per query) is kept behind the batch kill
+  /// switch (QFOREST_NO_BATCH) as the parity reference. The pruning
+  /// traversal search() remains the API for callback-driven descents.
+  [[nodiscard]] std::vector<gidx_t> search_points(
+      const std::vector<PointQuery>& queries) const {
+    const std::int64_t root = std::int64_t{1} << kCanonicalLevel;
+    for (const PointQuery& p : queries) {
+      if (p.tree < 0 || p.tree >= num_trees() || p.x < 0 || p.x >= root ||
+          p.y < 0 || p.y >= root || p.z < 0 || p.z >= root ||
+          (dim == 2 && p.z != 0)) {
+        throw std::invalid_argument(
+            "Forest::search_points: query outside the domain");
+      }
+    }
+    std::vector<gidx_t> out(queries.size(), -1);
+    if (!batch::enabled()) {
+      for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        out[qi] = search_point_scalar(queries[qi]);
+      }
+      return out;
+    }
+    // Counting sort groups the query indices per tree without touching
+    // the input order (results land at each query's original slot).
+    const std::size_t nt = trees_.size();
+    std::vector<std::size_t> count(nt + 1, 0);
+    for (const PointQuery& p : queries) {
+      ++count[static_cast<std::size_t>(p.tree) + 1];
+    }
+    for (std::size_t t = 1; t <= nt; ++t) {
+      count[t] += count[t - 1];
+    }
+    std::vector<std::size_t> order(queries.size());
+    {
+      std::vector<std::size_t> cursor(count.begin(), count.end() - 1);
+      for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        order[cursor[static_cast<std::size_t>(queries[qi].tree)]++] = qi;
+      }
+    }
+    parallel_over(nt, [&](std::size_t ti) {
+      const std::size_t b = count[ti];
+      const std::size_t e = count[ti + 1];
+      if (b == e) {
+        return;
+      }
+      std::vector<std::pair<quad_t, std::size_t>> pts;
+      pts.reserve(e - b);
+      for (std::size_t k = b; k < e; ++k) {
+        pts.emplace_back(point_key(queries[order[k]]), order[k]);
+      }
+      std::sort(pts.begin(), pts.end(),
+                [](const auto& x, const auto& y) {
+                  return R::less(x.first, y.first);
+                });
+      const auto& tree = trees_[ti];
+      const auto n = static_cast<std::ptrdiff_t>(tree.size());
+      parallel_chunks(pts.size(), chunk_grain(),
+                      [&](std::size_t, std::size_t pb, std::size_t pe) {
+        // Last leaf <= the chunk's first key; a complete tree guarantees
+        // one exists (the curve-minimal leaf precedes every in-root key).
+        std::ptrdiff_t j =
+            std::upper_bound(tree.begin(), tree.end(), pts[pb].first,
+                             RepLess<R>{}) -
+            tree.begin() - 1;
+        for (std::size_t k = pb; k < pe; ++k) {
+          while (j + 1 < n &&
+                 !R::less(pts[k].first,
+                          tree[static_cast<std::size_t>(j + 1)])) {
+            ++j;
+          }
+          assert(j >= 0);
+          out[pts[k].second] =
+              global_index(static_cast<tree_id_t>(ti),
+                           static_cast<std::size_t>(j));
+        }
+      });
+    });
+    return out;
+  }
+
   // ---------------------------------------------------------------- iterate
 
   /// Visit every face between leaves exactly once, plus every physical
   /// boundary face. Works on non-2:1-balanced forests as well (the
   /// paper's future-work item 4): hanging pairs are emitted from the
   /// finer side, equal-size pairs from the globally lower leaf.
+  ///
+  /// Batched (the default): the leaf sweep runs per tree AND per leaf
+  /// chunk on the forest pool, with every face-neighbor key of a
+  /// level-uniform span produced in bulk through
+  /// BatchOps<R>::neighbor_at_offset_n and resolved against the per-tree
+  /// Morton-cell grid; keys crossing a tree face are bucketed per target
+  /// tree and resolved with one sort + sorted-merge sweep. The emission
+  /// set is identical to the scalar path but the ORDER is not, and \p cb
+  /// is invoked concurrently — it must be thread-safe, with the same
+  /// opt-outs as the adaptation callbacks (set_tree_parallelism /
+  /// set_intra_tree_parallelism). The serial per-leaf scalar path is
+  /// kept behind the batch kill switch (QFOREST_NO_BATCH /
+  /// batch::set_enabled(false)) as the deterministic-order parity
+  /// reference.
   template <class Fn>
   void iterate_faces(Fn&& cb) const {
+    if (batch::enabled()) {
+      iterate_faces_batched(cb);
+      return;
+    }
     for (tree_id_t t = 0; t < num_trees(); ++t) {
       const auto& tree = trees_[static_cast<std::size_t>(t)];
       for (std::size_t i = 0; i < tree.size(); ++i) {
@@ -1487,7 +1595,12 @@ class Forest {
   /// Build tree \p ti's MarkGrid. The grid level is chosen so cells hold
   /// ~2+ leaves on average (a finer grid would cost more to build than it
   /// saves); a leaf coarser than the grid covers an aligned block of
-  /// cells that is contiguous in cell-Morton order.
+  /// cells that is contiguous in cell-Morton order. The cell fill runs
+  /// chunk-parallel over the leaf array: chunks mostly write disjoint
+  /// cell ranges (the leaves are curve-sorted) but can meet on boundary
+  /// cells and coarse-leaf blocks, so the min/max folds are relaxed CAS
+  /// loops — every worker folds toward the same fixpoint, so the result
+  /// is order-independent.
   void build_mark_grid(std::size_t ti, MarkGrid& g) const {
     const auto& tree = trees_[ti];
     const std::size_t n = tree.size();
@@ -1501,18 +1614,37 @@ class Forest {
     g.begin.assign(cells, n);
     g.end.assign(cells, 0);
     const int shift = kCanonicalLevel - lvl;
-    for (std::size_t i = 0; i < n; ++i) {
-      const CanonicalQuadrant c = to_canonical<R>(tree[i]);
-      const std::uint64_t c0 =
-          cell_morton(g, c.x >> shift, c.y >> shift, c.z >> shift);
-      std::uint64_t c1 = c0;
-      if (c.level < lvl) {
-        c1 = c0 + (std::uint64_t{1} << (dim * (lvl - c.level))) - 1;
+    parallel_chunks(n, chunk_grain(),
+                    [&](std::size_t, std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        const CanonicalQuadrant c = to_canonical<R>(tree[i]);
+        const std::uint64_t c0 =
+            cell_morton(g, c.x >> shift, c.y >> shift, c.z >> shift);
+        std::uint64_t c1 = c0;
+        if (c.level < lvl) {
+          c1 = c0 + (std::uint64_t{1} << (dim * (lvl - c.level))) - 1;
+        }
+        for (std::uint64_t cc = c0; cc <= c1; ++cc) {
+          atomic_fold_min(g.begin[cc], i);
+          atomic_fold_max(g.end[cc], i + 1);
+        }
       }
-      for (std::uint64_t cc = c0; cc <= c1; ++cc) {
-        g.begin[cc] = std::min(g.begin[cc], i);
-        g.end[cc] = std::max(g.end[cc], i + 1);
-      }
+    });
+  }
+
+  static void atomic_fold_min(std::size_t& slot, std::size_t v) {
+    const std::atomic_ref<std::size_t> a(slot);
+    std::size_t cur = a.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  static void atomic_fold_max(std::size_t& slot, std::size_t v) {
+    const std::atomic_ref<std::size_t> a(slot);
+    std::size_t cur = a.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
     }
   }
 
@@ -1628,19 +1760,15 @@ class Forest {
     }
   }
 
-  /// Resolve one candidate key against tree \p ti via its MarkGrid: the
-  /// enclosing leaf, if any, intersects the grid cell containing the
-  /// key's corner, so the range-local upper_bound equals the global one
-  /// whenever an enclosure exists (an out-of-range predecessor cannot be
-  /// an ancestor — ancestors contain the corner and hence the cell).
-  /// Marks the enclosing leaf when it is two or more levels coarser than
-  /// the key (a 2:1 violation). The mark is a relaxed atomic store:
-  /// concurrent chunk workers of one tree may mark the same leaf, and
-  /// all stores write the same value (the bitmap is only read after the
-  /// parallel region completes).
-  void resolve_mark(std::size_t ti, const MarkGrid& g,
-                    const CanonicalQuadrant& nc,
-                    std::vector<std::uint8_t>& split) const {
+  /// Grid-accelerated find_enclosing_leaf for a canonical key inside
+  /// tree \p ti: the enclosing leaf, if any, intersects the grid cell
+  /// containing the key's corner, so the range-local upper_bound equals
+  /// the global one whenever an enclosure exists (an out-of-range
+  /// predecessor cannot be an ancestor — ancestors contain the corner and
+  /// hence the cell). Shared by the balance mark phase and the batched
+  /// face iteration.
+  [[nodiscard]] std::optional<std::size_t> resolve_enclosing_grid(
+      std::size_t ti, const MarkGrid& g, const CanonicalQuadrant& nc) const {
     const auto& tree = trees_[ti];
     const int shift = kCanonicalLevel - g.level;
     const std::uint64_t cell =
@@ -1648,20 +1776,38 @@ class Forest {
     const std::size_t lo = g.begin[cell];
     const std::size_t hi = g.end[cell];
     if (lo >= hi) {
-      return;
+      return std::nullopt;
     }
     const quad_t key = from_canonical<R>(nc);
     const auto first = tree.begin() + static_cast<std::ptrdiff_t>(lo);
     const auto last = tree.begin() + static_cast<std::ptrdiff_t>(hi);
     const auto it = std::upper_bound(first, last, key, RepLess<R>{});
     if (it == first) {
-      return;
+      return std::nullopt;
     }
     const auto idx = static_cast<std::size_t>(it - tree.begin()) - 1;
     const quad_t& leaf = tree[idx];
-    if (R::level(leaf) < nc.level - 1 &&
-        (R::equal(leaf, key) || R::is_ancestor(leaf, key))) {
-      std::atomic_ref<std::uint8_t>(split[idx])
+    if (R::equal(leaf, key) || R::is_ancestor(leaf, key)) {
+      return idx;
+    }
+    return std::nullopt;
+  }
+
+  /// Resolve one candidate key against tree \p ti via its MarkGrid and
+  /// mark the enclosing leaf when it is two or more levels coarser than
+  /// the key (a 2:1 violation). The mark is a relaxed atomic store:
+  /// concurrent chunk workers of one tree may mark the same leaf, and
+  /// all stores write the same value (the bitmap is only read after the
+  /// parallel region completes).
+  void resolve_mark(std::size_t ti, const MarkGrid& g,
+                    const CanonicalQuadrant& nc,
+                    std::vector<std::uint8_t>& split) const {
+    const auto enclosing = resolve_enclosing_grid(ti, g, nc);
+    if (!enclosing.has_value()) {
+      return;
+    }
+    if (R::level(trees_[ti][*enclosing]) < nc.level - 1) {
+      std::atomic_ref<std::uint8_t>(split[*enclosing])
           .store(1, std::memory_order_relaxed);
     }
   }
@@ -1741,6 +1887,369 @@ class Forest {
           fn(static_cast<std::size_t>(cur - tree.begin()));
         }
       }
+    }
+  }
+
+  // ------------------------------------------------- ghost adjacency scan
+
+  /// One cross-tree adjacency key of the batched scan: the same-level
+  /// neighbor key re-encoded in the target tree's frame, the reference
+  /// leaf's canonical domain translated into that frame (the finer-run
+  /// touch filter needs it), and the source leaf's global index (the
+  /// emission of mirrors mode).
+  struct GhostKey {
+    quad_t key;
+    CanonicalQuadrant ref;
+    gidx_t source;
+  };
+
+  /// Cross-tree adjacency keys one source tree emits into one target.
+  struct GhostBucket {
+    tree_id_t tree;
+    std::vector<GhostKey> keys;
+  };
+
+  /// Shared core of ghost_layer and mirrors: scan the leaves of the
+  /// global range [first, last) against every kFull neighbor offset and
+  /// return, sorted and deduplicated, either every out-of-range leaf
+  /// touched (\p sources false — the ghost layer) or every in-range leaf
+  /// touching at least one out-of-range leaf (\p sources true — the
+  /// mirrors; the touch relation is symmetric, so one pass over the own
+  /// leaves replaces recomputing every other rank's ghost layer).
+  [[nodiscard]] std::vector<gidx_t> adjacency_scan(gidx_t first, gidx_t last,
+                                                   bool sources) const {
+    std::vector<gidx_t> seen = batch::enabled()
+                                   ? adjacency_scan_batched(first, last,
+                                                            sources)
+                                   : adjacency_scan_scalar(first, last,
+                                                           sources);
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    return seen;
+  }
+
+  /// Scalar reference scan: one neighbor_at_offset + whole-tree binary
+  /// search per (leaf, offset) pair — the pre-batching ghost_layer loop,
+  /// kept selectable via the batch kill switch for parity tests and the
+  /// bench_ghost ablation.
+  [[nodiscard]] std::vector<gidx_t> adjacency_scan_scalar(
+      gidx_t first, gidx_t last, bool sources) const {
+    std::vector<gidx_t> seen;
+    for (gidx_t g = first; g < last; ++g) {
+      const auto [t, i] = locate(g);
+      const quad_t& q = trees_[static_cast<std::size_t>(t)][i];
+      for_each_neighbor_offset(BalanceKind::kFull,
+                               [&, t = t, g = g](int dx, int dy, int dz) {
+        const auto nb = neighbor_at_offset(t, q, dx, dy, dz);
+        if (!nb.has_value()) {
+          return;
+        }
+        collect_touching_leaves(*nb, t, q, [&](std::size_t leaf_idx) {
+          const gidx_t lg = global_index(nb->tree, leaf_idx);
+          if (lg < first || lg >= last) {
+            seen.push_back(sources ? g : lg);
+          }
+        });
+      });
+    }
+    return seen;
+  }
+
+  /// Batched scan, the read-side twin of mark_splits_batched:
+  ///   A. per involved tree (only trees intersecting the rank range),
+  ///      build a MarkGrid, then sweep the rank's leaf subrange in
+  ///      chunks — each chunk stages its leaves into level-uniform spans
+  ///      (IndexedSpanStage keeps the source leaf indices), bulk-emits
+  ///      every kFull neighbor key through neighbor_at_offset_n, resolves
+  ///      keys staying in the tree against the grid on the spot and
+  ///      buckets keys crossing a tree face per target;
+  ///   B. per target tree, concatenate + sort the incoming keys by curve
+  ///      order and resolve them with a chunked sorted-merge sweep.
+  /// The reference domain needed by the finer-run touch filter comes for
+  /// free: in the target frame it is the wrapped key position minus the
+  /// offset displacement (the wrap translation cancels axis by axis).
+  [[nodiscard]] std::vector<gidx_t> adjacency_scan_batched(
+      gidx_t first, gidx_t last, bool sources) const {
+    std::vector<gidx_t> seen;
+    if (first >= last) {
+      return seen;
+    }
+    const auto [t0, i0] = locate(first);
+    const auto [t1, i1] = locate(last - 1);
+    const std::size_t nscan = static_cast<std::size_t>(t1 - t0) + 1;
+    std::vector<MarkGrid> grids(nscan);
+    parallel_over(nscan, [&, t0 = t0](std::size_t k) {
+      build_mark_grid(static_cast<std::size_t>(t0) + k, grids[k]);
+    });
+    const std::int64_t root = std::int64_t{1} << kCanonicalLevel;
+    const std::size_t grain = chunk_grain();
+    std::vector<std::vector<gidx_t>> tree_seen(nscan);
+    std::vector<std::vector<GhostBucket>> buckets(nscan);
+    parallel_over(nscan, [&, t0 = t0, t1 = t1, i0 = i0,
+                          i1 = i1](std::size_t k) {
+      const auto t = static_cast<tree_id_t>(static_cast<std::size_t>(t0) + k);
+      const auto ti = static_cast<std::size_t>(t);
+      const auto& tree = trees_[ti];
+      const MarkGrid& grid = grids[k];
+      const std::size_t a = t == t0 ? i0 : 0;
+      const std::size_t b = t == t1 ? i1 + 1 : tree.size();
+      const std::size_t m = b - a;
+      const std::size_t nchunks = batch::chunk_count(m, grain);
+      std::vector<std::vector<gidx_t>> chunk_seen(nchunks);
+      std::vector<std::vector<GhostBucket>> chunk_buckets(nchunks);
+      parallel_chunks(m, grain,
+                      [&](std::size_t c, std::size_t cb, std::size_t ce) {
+        auto& my_seen = chunk_seen[c];
+        auto& my_buckets = chunk_buckets[c];
+        auto bucket_for = [&](tree_id_t target) -> std::vector<GhostKey>& {
+          // Linear scan: a tree has at most 3^dim - 1 distinct targets.
+          for (GhostBucket& bk : my_buckets) {
+            if (bk.tree == target) {
+              return bk.keys;
+            }
+          }
+          my_buckets.push_back(GhostBucket{target, {}});
+          return my_buckets.back().keys;
+        };
+        IndexedSpanStage<R> staged;
+        for (std::size_t i = cb; i < ce; ++i) {
+          staged.add(tree[a + i], a + i);
+        }
+        std::vector<std::int64_t> ox, oy, oz;
+        for (std::size_t l = 0; l < staged.num_levels(); ++l) {
+          const auto& span = staged.span(l);
+          if (span.empty()) {
+            continue;
+          }
+          const auto& src = staged.sources(l);
+          ox.resize(span.size());
+          oy.resize(span.size());
+          oz.resize(span.size());
+          const std::int64_t h = std::int64_t{1}
+                                 << (kCanonicalLevel - static_cast<int>(l));
+          for_each_neighbor_offset(BalanceKind::kFull,
+                                   [&](int dx, int dy, int dz) {
+            BatchOps<R>::neighbor_at_offset_n(span.data(), ox.data(),
+                                              oy.data(), oz.data(),
+                                              span.size(), dx, dy, dz,
+                                              static_cast<int>(l));
+            for (std::size_t i = 0; i < span.size(); ++i) {
+              std::int64_t pos[3] = {ox[i], oy[i], oz[i]};
+              std::array<int, 3> step = {0, 0, 0};
+              for (int axis = 0; axis < dim; ++axis) {
+                if (pos[axis] < 0) {
+                  step[axis] = -1;
+                  pos[axis] += root;
+                } else if (pos[axis] >= root) {
+                  step[axis] = 1;
+                  pos[axis] -= root;
+                }
+              }
+              tree_id_t target = t;
+              if (step[0] != 0 || step[1] != 0 || step[2] != 0) {
+                target = conn_.tree_offset_neighbor(t, step[0], step[1],
+                                                    step[2]);
+                if (target < 0) {
+                  continue;  // physical boundary
+                }
+              }
+              const CanonicalQuadrant nc{pos[0], pos[1], pos[2],
+                                         static_cast<int>(l)};
+              const CanonicalQuadrant ref{pos[0] - dx * h, pos[1] - dy * h,
+                                          pos[2] - dz * h,
+                                          static_cast<int>(l)};
+              const gidx_t src_g = global_index(t, src[i]);
+              if (target == t) {
+                resolve_touching_local(
+                    ti, grid, nc, ref, [&](std::size_t leaf_idx) {
+                      const gidx_t lg = global_index(t, leaf_idx);
+                      if (lg < first || lg >= last) {
+                        my_seen.push_back(sources ? src_g : lg);
+                      }
+                    });
+              } else {
+                bucket_for(target).push_back(
+                    GhostKey{from_canonical<R>(nc), ref, src_g});
+              }
+            }
+          });
+        }
+      });
+      auto& ts = tree_seen[k];
+      for (const auto& cs : chunk_seen) {
+        ts.insert(ts.end(), cs.begin(), cs.end());
+      }
+      auto& tb = buckets[k];
+      for (auto& cbk : chunk_buckets) {
+        for (GhostBucket& bk : cbk) {
+          const auto it = std::find_if(
+              tb.begin(), tb.end(),
+              [&](const GhostBucket& o) { return o.tree == bk.tree; });
+          if (it == tb.end()) {
+            tb.push_back(std::move(bk));
+          } else {
+            it->keys.insert(it->keys.end(), bk.keys.begin(), bk.keys.end());
+          }
+        }
+      }
+    });
+    // Phase B: group the buckets per target (serial pointer pass, as in
+    // mark_splits_batched), then resolve each target's keys.
+    std::vector<std::vector<const std::vector<GhostKey>*>> incoming(
+        trees_.size());
+    for (const auto& per_source : buckets) {
+      for (const GhostBucket& bk : per_source) {
+        incoming[static_cast<std::size_t>(bk.tree)].push_back(&bk.keys);
+      }
+    }
+    std::vector<std::vector<gidx_t>> target_seen(trees_.size());
+    parallel_over(trees_.size(), [&](std::size_t ti) {
+      if (incoming[ti].empty()) {
+        return;
+      }
+      std::size_t total = 0;
+      for (const auto* keys : incoming[ti]) {
+        total += keys->size();
+      }
+      std::vector<GhostKey> keys;
+      keys.reserve(total);
+      for (const auto* part : incoming[ti]) {
+        keys.insert(keys.end(), part->begin(), part->end());
+      }
+      std::sort(keys.begin(), keys.end(),
+                [](const GhostKey& x, const GhostKey& y) {
+                  return R::less(x.key, y.key);
+                });
+      resolve_touching_merge(ti, first, last, sources, keys,
+                             target_seen[ti]);
+    });
+    std::size_t total = 0;
+    for (const auto& part : tree_seen) {
+      total += part.size();
+    }
+    for (const auto& part : target_seen) {
+      total += part.size();
+    }
+    seen.reserve(total);
+    for (const auto& part : tree_seen) {
+      seen.insert(seen.end(), part.begin(), part.end());
+    }
+    for (const auto& part : target_seen) {
+      seen.insert(seen.end(), part.begin(), part.end());
+    }
+    return seen;
+  }
+
+  /// Grid-accelerated equivalent of collect_touching_leaves for a key
+  /// staying in its source tree. The aligned cell block covered by the
+  /// key maps to the contiguous leaf range [begin[c0], end[c1]) — the
+  /// leaves intersecting the key's domain: the range-local upper_bound
+  /// finds the enclosing leaf if one exists (emitted unconditionally: an
+  /// enclosing leaf always touches the reference, which is adjacent to
+  /// the key region it contains); otherwise the key's descendants form a
+  /// contiguous run starting right at that upper_bound, filtered by the
+  /// canonical touch test exactly like the scalar path. (The scalar
+  /// path's periodic self-exclusion is vacuous here: finer-run leaves are
+  /// strictly finer than the same-level reference, so they can never
+  /// equal it.)
+  template <class Fn>
+  void resolve_touching_local(std::size_t ti, const MarkGrid& g,
+                              const CanonicalQuadrant& nc,
+                              const CanonicalQuadrant& ref, Fn&& fn) const {
+    const auto& tree = trees_[ti];
+    const int shift = kCanonicalLevel - g.level;
+    const std::uint64_t c0 =
+        cell_morton(g, nc.x >> shift, nc.y >> shift, nc.z >> shift);
+    std::uint64_t c1 = c0;
+    if (nc.level < g.level) {
+      c1 = c0 + (std::uint64_t{1} << (dim * (g.level - nc.level))) - 1;
+    }
+    const std::size_t lo = g.begin[c0];
+    const std::size_t hi = g.end[c1];
+    if (lo >= hi) {
+      return;  // defensive: a complete tree always intersects the block
+    }
+    const quad_t key = from_canonical<R>(nc);
+    const auto range_first = tree.begin() + static_cast<std::ptrdiff_t>(lo);
+    const auto range_last = tree.begin() + static_cast<std::ptrdiff_t>(hi);
+    const auto it =
+        std::upper_bound(range_first, range_last, key, RepLess<R>{});
+    if (it != range_first) {
+      const auto idx = static_cast<std::size_t>(it - tree.begin()) - 1;
+      const quad_t& leaf = tree[idx];
+      if (R::equal(leaf, key) || R::is_ancestor(leaf, key)) {
+        fn(idx);
+        return;
+      }
+    }
+    for (auto cur = it; cur != range_last; ++cur) {
+      if (!R::is_ancestor(key, *cur)) {
+        break;
+      }
+      if (canonical_touch(to_canonical<R>(*cur), ref)) {
+        fn(static_cast<std::size_t>(cur - tree.begin()));
+      }
+    }
+  }
+
+  /// Phase B worker of the batched adjacency scan: resolve one target
+  /// tree's incoming cross-tree keys (sorted by curve order) with a
+  /// sorted-merge sweep, chunked like mark_enclosing_merge — each key
+  /// chunk seeds its last-leaf-<=-key cursor with one binary search and
+  /// advances it monotonically. Enclosures emit unconditionally; finer
+  /// runs scan forward from the cursor with the canonical touch filter
+  /// against the key's translated reference. Emissions collect into
+  /// per-chunk vectors (concatenated at the end) so the chunk workers
+  /// never share a sink.
+  void resolve_touching_merge(std::size_t ti, gidx_t first, gidx_t last,
+                              bool sources,
+                              const std::vector<GhostKey>& keys,
+                              std::vector<gidx_t>& out) const {
+    const auto& tree = trees_[ti];
+    const auto t = static_cast<tree_id_t>(ti);
+    const auto n = static_cast<std::ptrdiff_t>(tree.size());
+    const std::size_t grain = chunk_grain();
+    std::vector<std::vector<gidx_t>> chunk_out(
+        batch::chunk_count(keys.size(), grain));
+    parallel_chunks(keys.size(), grain,
+                    [&](std::size_t c, std::size_t b, std::size_t e) {
+      auto& mine = chunk_out[c];
+      auto emit = [&](std::size_t leaf_idx, const GhostKey& gk) {
+        const gidx_t lg = global_index(t, leaf_idx);
+        if (lg < first || lg >= last) {
+          mine.push_back(sources ? gk.source : lg);
+        }
+      };
+      std::ptrdiff_t j =
+          std::upper_bound(tree.begin(), tree.end(), keys[b].key,
+                           RepLess<R>{}) -
+          tree.begin() - 1;
+      for (std::size_t kk = b; kk < e; ++kk) {
+        const GhostKey& gk = keys[kk];
+        while (j + 1 < n &&
+               !R::less(gk.key, tree[static_cast<std::size_t>(j + 1)])) {
+          ++j;
+        }
+        if (j >= 0) {
+          const quad_t& leaf = tree[static_cast<std::size_t>(j)];
+          if (R::equal(leaf, gk.key) || R::is_ancestor(leaf, gk.key)) {
+            emit(static_cast<std::size_t>(j), gk);
+            continue;
+          }
+        }
+        for (std::ptrdiff_t r = j + 1; r < n; ++r) {
+          const quad_t& leaf = tree[static_cast<std::size_t>(r)];
+          if (!R::is_ancestor(gk.key, leaf)) {
+            break;
+          }
+          if (canonical_touch(to_canonical<R>(leaf), gk.ref)) {
+            emit(static_cast<std::size_t>(r), gk);
+          }
+        }
+      }
+    });
+    for (const auto& mine : chunk_out) {
+      out.insert(out.end(), mine.begin(), mine.end());
     }
   }
 
@@ -1861,6 +2370,256 @@ class Forest {
     info.leaf_index[1] = *enclosing;
     info.face[1] = f ^ 1;
     cb(info);
+  }
+
+  // ------------------------------------------------ batched face iteration
+
+  /// One cross-tree face key of the batched iteration: the face-neighbor
+  /// key re-encoded in the target tree's frame plus everything needed to
+  /// rebuild side 0 of the FaceInfo once the target resolves it.
+  struct FaceKey {
+    quad_t key;
+    tree_id_t src_tree;
+    std::size_t src_leaf;
+    int face;
+  };
+
+  /// Cross-tree face keys one source tree emits into one target.
+  struct FaceBucket {
+    tree_id_t tree;
+    std::vector<FaceKey> keys;
+  };
+
+  /// Batched iterate_faces: per tree (tree-parallel), sweep the leaves in
+  /// chunks — each chunk stages its leaves into level-uniform spans with
+  /// their source indices and bulk-emits all 2*dim face-neighbor keys per
+  /// span; local keys resolve against the tree's MarkGrid, cross-tree
+  /// keys are bucketed and resolved per target with a sorted-merge sweep.
+  /// Every emission decision replays emit_face's contract on the resolved
+  /// enclosing leaf, so the emitted face SET matches the scalar path
+  /// exactly (order differs and the callback runs concurrently).
+  template <class Fn>
+  void iterate_faces_batched(Fn& cb) const {
+    const std::size_t nt = trees_.size();
+    std::vector<MarkGrid> grids(nt);
+    parallel_over(nt, [&](std::size_t ti) { build_mark_grid(ti, grids[ti]); });
+    const std::int64_t root = std::int64_t{1} << kCanonicalLevel;
+    const std::size_t grain = chunk_grain();
+    std::vector<std::vector<FaceBucket>> buckets(nt);
+    parallel_over(nt, [&](std::size_t ti) {
+      const auto t = static_cast<tree_id_t>(ti);
+      const auto& tree = trees_[ti];
+      const MarkGrid& grid = grids[ti];
+      const std::size_t nchunks = batch::chunk_count(tree.size(), grain);
+      std::vector<std::vector<FaceBucket>> chunk_buckets(nchunks);
+      parallel_chunks(tree.size(), grain,
+                      [&](std::size_t c, std::size_t cb_, std::size_t ce) {
+        auto& my_buckets = chunk_buckets[c];
+        auto bucket_for = [&](tree_id_t target) -> std::vector<FaceKey>& {
+          for (FaceBucket& bk : my_buckets) {
+            if (bk.tree == target) {
+              return bk.keys;
+            }
+          }
+          my_buckets.push_back(FaceBucket{target, {}});
+          return my_buckets.back().keys;
+        };
+        IndexedSpanStage<R> staged;
+        for (std::size_t i = cb_; i < ce; ++i) {
+          staged.add(tree[i], i);
+        }
+        std::vector<std::int64_t> ox, oy, oz;
+        for (std::size_t l = 0; l < staged.num_levels(); ++l) {
+          const auto& span = staged.span(l);
+          if (span.empty()) {
+            continue;
+          }
+          const auto& src = staged.sources(l);
+          ox.resize(span.size());
+          oy.resize(span.size());
+          oz.resize(span.size());
+          for (int f = 0; f < dims::num_faces; ++f) {
+            const int axis = f >> 1;
+            const int sign = (f & 1) ? 1 : -1;
+            const int dx = axis == 0 ? sign : 0;
+            const int dy = axis == 1 ? sign : 0;
+            const int dz = axis == 2 ? sign : 0;
+            BatchOps<R>::neighbor_at_offset_n(span.data(), ox.data(),
+                                              oy.data(), oz.data(),
+                                              span.size(), dx, dy, dz,
+                                              static_cast<int>(l));
+            for (std::size_t i = 0; i < span.size(); ++i) {
+              std::int64_t pos[3] = {ox[i], oy[i], oz[i]};
+              std::array<int, 3> step = {0, 0, 0};
+              for (int a = 0; a < dim; ++a) {
+                if (pos[a] < 0) {
+                  step[a] = -1;
+                  pos[a] += root;
+                } else if (pos[a] >= root) {
+                  step[a] = 1;
+                  pos[a] -= root;
+                }
+              }
+              tree_id_t target = t;
+              if (step[0] != 0 || step[1] != 0 || step[2] != 0) {
+                target = conn_.tree_offset_neighbor(t, step[0], step[1],
+                                                    step[2]);
+              }
+              if (target < 0) {
+                FaceInfo<R> info;
+                info.tree[0] = t;
+                info.quad[0] = span[i];
+                info.leaf_index[0] = src[i];
+                info.face[0] = f;
+                info.is_boundary = true;
+                cb(info);
+                continue;
+              }
+              const CanonicalQuadrant nc{pos[0], pos[1], pos[2],
+                                         static_cast<int>(l)};
+              if (target != t) {
+                bucket_for(target).push_back(
+                    FaceKey{from_canonical<R>(nc), t, src[i], f});
+                continue;
+              }
+              const auto enclosing = resolve_enclosing_grid(ti, grid, nc);
+              if (!enclosing.has_value()) {
+                continue;  // neighbor region finer: it emits toward us
+              }
+              const quad_t& leaf = tree[*enclosing];
+              const int ll = R::level(leaf);
+              FaceInfo<R> info;
+              info.tree[0] = t;
+              info.quad[0] = span[i];
+              info.leaf_index[0] = src[i];
+              info.face[0] = f;
+              if (ll == static_cast<int>(l)) {
+                if (global_index(t, src[i]) >
+                    global_index(t, *enclosing)) {
+                  continue;  // equal-size pair: the lower side emits
+                }
+              } else {
+                info.is_hanging = true;  // we are the finer side
+              }
+              info.tree[1] = t;
+              info.quad[1] = leaf;
+              info.leaf_index[1] = *enclosing;
+              info.face[1] = f ^ 1;
+              cb(info);
+            }
+          }
+        }
+      });
+      auto& tb = buckets[ti];
+      for (auto& cbk : chunk_buckets) {
+        for (FaceBucket& bk : cbk) {
+          const auto it = std::find_if(
+              tb.begin(), tb.end(),
+              [&](const FaceBucket& o) { return o.tree == bk.tree; });
+          if (it == tb.end()) {
+            tb.push_back(std::move(bk));
+          } else {
+            it->keys.insert(it->keys.end(), bk.keys.begin(), bk.keys.end());
+          }
+        }
+      }
+    });
+    std::vector<std::vector<const std::vector<FaceKey>*>> incoming(nt);
+    for (const auto& per_source : buckets) {
+      for (const FaceBucket& bk : per_source) {
+        incoming[static_cast<std::size_t>(bk.tree)].push_back(&bk.keys);
+      }
+    }
+    parallel_over(nt, [&](std::size_t ti) {
+      if (incoming[ti].empty()) {
+        return;
+      }
+      const auto& tree = trees_[ti];
+      const auto n = static_cast<std::ptrdiff_t>(tree.size());
+      std::size_t total = 0;
+      for (const auto* keys : incoming[ti]) {
+        total += keys->size();
+      }
+      std::vector<FaceKey> keys;
+      keys.reserve(total);
+      for (const auto* part : incoming[ti]) {
+        keys.insert(keys.end(), part->begin(), part->end());
+      }
+      std::sort(keys.begin(), keys.end(),
+                [](const FaceKey& x, const FaceKey& y) {
+                  return R::less(x.key, y.key);
+                });
+      parallel_chunks(keys.size(), grain,
+                      [&](std::size_t, std::size_t b, std::size_t e) {
+        std::ptrdiff_t j =
+            std::upper_bound(tree.begin(), tree.end(), keys[b].key,
+                             RepLess<R>{}) -
+            tree.begin() - 1;
+        for (std::size_t kk = b; kk < e; ++kk) {
+          const FaceKey& fk = keys[kk];
+          while (j + 1 < n &&
+                 !R::less(fk.key, tree[static_cast<std::size_t>(j + 1)])) {
+            ++j;
+          }
+          if (j < 0) {
+            continue;
+          }
+          const quad_t& leaf = tree[static_cast<std::size_t>(j)];
+          if (!R::equal(leaf, fk.key) && !R::is_ancestor(leaf, fk.key)) {
+            continue;  // neighbor region finer: it emits toward us
+          }
+          const quad_t& srcq =
+              trees_[static_cast<std::size_t>(fk.src_tree)][fk.src_leaf];
+          const int lq = R::level(srcq);
+          const int ll = R::level(leaf);
+          FaceInfo<R> info;
+          info.tree[0] = fk.src_tree;
+          info.quad[0] = srcq;
+          info.leaf_index[0] = fk.src_leaf;
+          info.face[0] = fk.face;
+          if (ll == lq) {
+            if (global_index(fk.src_tree, fk.src_leaf) >
+                global_index(static_cast<tree_id_t>(ti),
+                             static_cast<std::size_t>(j))) {
+              continue;  // equal-size pair: the lower side emits
+            }
+          } else {
+            info.is_hanging = true;  // source is the finer side
+          }
+          info.tree[1] = static_cast<tree_id_t>(ti);
+          info.quad[1] = leaf;
+          info.leaf_index[1] = static_cast<std::size_t>(j);
+          info.face[1] = fk.face ^ 1;
+          cb(info);
+        }
+      });
+    });
+  }
+
+  // ----------------------------------------------------- point search core
+
+  /// Representation key of a query point: the max_level quadrant whose
+  /// half-open box contains the point. Masking the coordinates down to
+  /// max_level alignment keeps from_canonical's grid precondition.
+  [[nodiscard]] quad_t point_key(const PointQuery& p) const {
+    const std::int64_t mask =
+        ~((std::int64_t{1} << (kCanonicalLevel - R::max_level)) - 1);
+    return from_canonical<R>(
+        CanonicalQuadrant{p.x & mask, p.y & mask, p.z & mask, R::max_level});
+  }
+
+  /// Scalar point location: the containing leaf is the last leaf <= the
+  /// point's max_level key in curve order (an enclosure relation, so
+  /// upper_bound - 1; a complete tree always contains the point, hence
+  /// the assert).
+  [[nodiscard]] gidx_t search_point_scalar(const PointQuery& p) const {
+    const auto& tree = trees_[static_cast<std::size_t>(p.tree)];
+    const quad_t key = point_key(p);
+    const auto it =
+        std::upper_bound(tree.begin(), tree.end(), key, RepLess<R>{});
+    assert(it != tree.begin());
+    return global_index(p.tree,
+                        static_cast<std::size_t>(it - tree.begin()) - 1);
   }
 
   Connectivity conn_;

@@ -270,6 +270,84 @@ bool VForest::is_balanced() const {
   return true;
 }
 
+std::vector<std::int64_t> VForest::search_points(
+    const std::vector<PointQuery>& queries) const {
+  const std::int64_t root = std::int64_t{1} << kCanonicalLevel;
+  const int dim = ops_->dim();
+  for (const PointQuery& p : queries) {
+    if (p.tree < 0 || p.tree >= num_trees() || p.x < 0 || p.x >= root ||
+        p.y < 0 || p.y >= root || p.z < 0 || p.z >= root ||
+        (dim == 2 && p.z != 0)) {
+      throw std::invalid_argument(
+          "VForest::search_points: query outside the domain");
+    }
+  }
+  // Global index = leaf position + exclusive prefix of tree sizes.
+  std::vector<std::int64_t> offsets(trees_.size() + 1, 0);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    offsets[t + 1] = offsets[t] + static_cast<std::int64_t>(trees_[t].size());
+  }
+  // Group the query indices per tree without touching the input order.
+  std::vector<std::size_t> count(trees_.size() + 1, 0);
+  for (const PointQuery& p : queries) {
+    ++count[static_cast<std::size_t>(p.tree) + 1];
+  }
+  for (std::size_t t = 1; t < count.size(); ++t) {
+    count[t] += count[t - 1];
+  }
+  std::vector<std::size_t> order(queries.size());
+  {
+    std::vector<std::size_t> cursor(count.begin(), count.end() - 1);
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      order[cursor[static_cast<std::size_t>(queries[qi].tree)]++] = qi;
+    }
+  }
+  // The point's max_level key: mask the coordinates down to max_level
+  // alignment (the containing leaf is the last leaf <= that key).
+  const std::int64_t mask =
+      ~((std::int64_t{1} << (kCanonicalLevel - ops_->max_level())) - 1);
+  std::vector<std::int64_t> out(queries.size(), -1);
+  std::vector<std::pair<VQuad, std::size_t>> pts;
+  for (std::size_t ti = 0; ti < trees_.size(); ++ti) {
+    const std::size_t b = count[ti];
+    const std::size_t e = count[ti + 1];
+    if (b == e) {
+      continue;
+    }
+    pts.clear();
+    pts.reserve(e - b);
+    for (std::size_t k = b; k < e; ++k) {
+      const PointQuery& p = queries[order[k]];
+      pts.emplace_back(ops_->from_canonical_quad({p.x & mask, p.y & mask,
+                                                  p.z & mask,
+                                                  ops_->max_level()}),
+                       order[k]);
+    }
+    std::sort(pts.begin(), pts.end(),
+              [this](const auto& x, const auto& y) {
+                return ops_->less(x.first, y.first);
+              });
+    const auto& tree = trees_[ti];
+    const auto n = static_cast<std::ptrdiff_t>(tree.size());
+    // Sorted-merge sweep: the last-leaf-<=-key cursor advances
+    // monotonically with the sorted keys.
+    std::ptrdiff_t j =
+        std::upper_bound(tree.begin(), tree.end(), pts.front().first,
+                         [this](const VQuad& a, const VQuad& b) {
+                           return ops_->less(a, b);
+                         }) -
+        tree.begin() - 1;
+    for (const auto& [key, qi] : pts) {
+      while (j + 1 < n && !ops_->less(key, tree[static_cast<std::size_t>(j + 1)])) {
+        ++j;
+      }
+      assert(j >= 0);
+      out[qi] = offsets[ti] + static_cast<std::int64_t>(j);
+    }
+  }
+  return out;
+}
+
 void VForest::search(const search_fn& cb) const {
   for (tree_id_t t = 0; t < num_trees(); ++t) {
     const auto& tree = trees_[static_cast<std::size_t>(t)];

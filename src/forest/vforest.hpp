@@ -23,6 +23,7 @@
 
 #include "core/virtual_ops.hpp"
 #include "forest/connectivity.hpp"
+#include "forest/point_query.hpp"
 
 namespace qforest {
 
@@ -69,6 +70,15 @@ class VForest {
 
   /// Top-down traversal with pruning.
   void search(const search_fn& cb) const;
+
+  /// Batched point location: the global index of the leaf containing each
+  /// canonical query point (see point_query.hpp), in input order. Same
+  /// contract as Forest<R>::search_points — queries are grouped per tree,
+  /// sorted in curve order and resolved with one sorted-merge sweep, so m
+  /// points cost one sort plus one sweep instead of m binary searches.
+  /// Throws std::invalid_argument when a query lies outside the domain.
+  [[nodiscard]] std::vector<std::int64_t> search_points(
+      const std::vector<PointQuery>& queries) const;
 
   /// Structural validation (sortedness, no overlap, completeness).
   [[nodiscard]] bool is_valid() const;

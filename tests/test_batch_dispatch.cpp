@@ -99,6 +99,21 @@ void check_ops(Xoshiro256& rng, std::size_t n, int level) {
         << R::name << " last_desc i=" << i << " n=" << n;
   }
 
+  // morton_quadrant_n: bulk de-interleave of level-relative Morton
+  // indices (the producer of new_uniform and the bench workload builder).
+  if (R::dim * level < 64) {
+    std::vector<morton_t> il(n);
+    const morton_t cap = level == 0 ? 1 : (morton_t{1} << (R::dim * level));
+    for (std::size_t i = 0; i < n; ++i) {
+      il[i] = rng.next_below(cap);
+    }
+    B::morton_quadrant_n(il.data(), out.data(), n, level);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(R::equal(out[i], R::morton_quadrant(il[i], level)))
+          << R::name << " morton_quadrant i=" << i << " n=" << n;
+    }
+  }
+
   // neighbor_at_offset_n: canonical neighbor keys of the balance mark
   // phase. Out-of-root coordinates are part of the contract (the caller
   // wraps them), so every offset is valid at every level.

@@ -3,6 +3,8 @@
 /// reject every way a leaf array can be broken, and boundary behaviors
 /// (max level, empty trees, ghost symmetry) must hold.
 
+#include <atomic>
+
 #include <gtest/gtest.h>
 
 #include "forest/forest.hpp"
@@ -167,7 +169,7 @@ TEST(EdgeCases, SingleLeafTreeBrick) {
   EXPECT_EQ(f.num_quadrants(), 9);
   EXPECT_TRUE(f.is_valid());
   EXPECT_TRUE(f.is_balanced(BalanceKind::kFull));
-  gidx_t faces = 0, boundaries = 0;
+  std::atomic<gidx_t> faces{0}, boundaries{0};  // callback runs concurrently
   f.iterate_faces([&](const FaceInfo<StandardRep<2>>& info) {
     (info.is_boundary ? boundaries : faces) += 1;
   });

@@ -3,6 +3,7 @@
 /// once, hanging faces from the fine side; works without 2:1 balance.
 
 #include <map>
+#include <mutex>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -16,12 +17,17 @@ namespace {
 using S2 = StandardRep<2>;
 using M3 = MortonRep<3>;
 
+// iterate_faces invokes the callback concurrently on the batched path, so
+// every callback below serializes its shared-state mutation with a mutex.
+
 TEST(Iterate, Uniform2DCounts) {
   const int lvl = 3;
   auto f = Forest<S2>::new_uniform(Connectivity::unit(2), lvl);
   const gidx_t n_per_side = gidx_t{1} << lvl;
   gidx_t interior = 0, boundary = 0;
+  std::mutex mu;
   f.iterate_faces([&](const FaceInfo<S2>& info) {
+    const std::lock_guard<std::mutex> lock(mu);
     (info.is_boundary ? boundary : interior) += 1;
     if (!info.is_boundary) {
       EXPECT_FALSE(info.is_hanging);
@@ -39,7 +45,9 @@ TEST(Iterate, Uniform3DCounts) {
   auto f = Forest<M3>::new_uniform(Connectivity::unit(3), lvl);
   const gidx_t n = gidx_t{1} << lvl;
   gidx_t interior = 0, boundary = 0;
+  std::mutex mu;
   f.iterate_faces([&](const FaceInfo<M3>& info) {
+    const std::lock_guard<std::mutex> lock(mu);
     (info.is_boundary ? boundary : interior) += 1;
   });
   EXPECT_EQ(interior, 3 * n * n * (n - 1));
@@ -52,6 +60,7 @@ TEST(Iterate, EachPairSeenOnce) {
     return S2::level_index(q) % 2 == 0;
   });
   std::set<std::pair<gidx_t, gidx_t>> pairs;
+  std::mutex mu;
   f.iterate_faces([&](const FaceInfo<S2>& info) {
     if (info.is_boundary) {
       return;
@@ -59,6 +68,7 @@ TEST(Iterate, EachPairSeenOnce) {
     const gidx_t a = f.global_index(info.tree[0], info.leaf_index[0]);
     const gidx_t b = f.global_index(info.tree[1], info.leaf_index[1]);
     const auto key = std::minmax(a, b);
+    const std::lock_guard<std::mutex> lock(mu);
     EXPECT_TRUE(pairs.insert(key).second)
         << "pair (" << key.first << "," << key.second << ") seen twice";
   });
@@ -73,7 +83,9 @@ TEST(Iterate, HangingFacesEmittedFromFineSide) {
     return S2::level_index(q) == 0;
   });
   int hanging = 0, conforming = 0, boundary = 0;
+  std::mutex mu;
   f.iterate_faces([&](const FaceInfo<S2>& info) {
+    const std::lock_guard<std::mutex> lock(mu);
     if (info.is_boundary) {
       ++boundary;
       return;
@@ -105,7 +117,9 @@ TEST(Iterate, NonBalancedForestStillCovered) {
   ASSERT_FALSE(f.is_balanced(BalanceKind::kFace));
   gidx_t faces = 0;
   std::set<gidx_t> leaves_seen;
+  std::mutex mu;
   f.iterate_faces([&](const FaceInfo<S2>& info) {
+    const std::lock_guard<std::mutex> lock(mu);
     ++faces;
     leaves_seen.insert(f.global_index(info.tree[0], info.leaf_index[0]));
     if (!info.is_boundary) {
@@ -124,7 +138,9 @@ TEST(Iterate, NonBalancedForestStillCovered) {
 TEST(Iterate, CrossTreeFacesEmitted) {
   auto f = Forest<S2>::new_uniform(Connectivity::brick2d(2, 1), 1);
   int cross = 0;
+  std::mutex mu;
   f.iterate_faces([&](const FaceInfo<S2>& info) {
+    const std::lock_guard<std::mutex> lock(mu);
     if (!info.is_boundary && info.tree[0] != info.tree[1]) {
       ++cross;
       EXPECT_EQ(info.face[0] >> 1, 0);  // crossing along x
@@ -139,7 +155,9 @@ TEST(Iterate, PeriodicTorusHasNoBoundary) {
   auto f =
       Forest<S2>::new_uniform(Connectivity::brick2d(1, 1, true, true), 2);
   gidx_t boundary = 0, interior = 0;
+  std::mutex mu;
   f.iterate_faces([&](const FaceInfo<S2>& info) {
+    const std::lock_guard<std::mutex> lock(mu);
     (info.is_boundary ? boundary : interior) += 1;
   });
   EXPECT_EQ(boundary, 0);
