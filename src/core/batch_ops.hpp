@@ -53,7 +53,8 @@ namespace batch {
 /// region is running (benches flip it between timed phases) and workers
 /// only need *a* consistent value per load, not a synchronized view.
 inline std::atomic<bool>& enabled_flag() {
-  static std::atomic<bool> flag{std::getenv("QFOREST_NO_BATCH") == nullptr};
+  static std::atomic<bool> flag{
+      std::getenv("QFOREST_NO_BATCH") == nullptr};  // NOLINT(concurrency-mt-unsafe)
   return flag;
 }
 inline bool enabled() {

@@ -58,6 +58,7 @@
 #include "core/batch_ops.hpp"
 #include "core/bits.hpp"
 #include "core/canonical.hpp"
+#include "core/debug_check.hpp"
 #include "core/rep_traits.hpp"
 #include "core/types.hpp"
 #include "forest/connectivity.hpp"
@@ -74,7 +75,8 @@ namespace detail {
 /// unless QFOREST_THREADS overrides it.
 inline par::ThreadPool& forest_pool() {
   static par::ThreadPool pool([] {
-    if (const char* env = std::getenv("QFOREST_THREADS")) {
+    if (const char* env =
+            std::getenv("QFOREST_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
       const long v = std::atol(env);
       if (v > 0) {
         return static_cast<unsigned>(v);
@@ -98,7 +100,11 @@ inline int& worker_depth() {
   return depth;
 }
 
-/// RAII depth marker for one pool task.
+/// RAII depth marker for one pool task. No depth check here: the
+/// executing thread's prior depth is arbitrary under the helping wait
+/// (a thread waiting at depth 1 or 2 legitimately picks up queued tasks
+/// of any level) — the scheduling invariant is asserted at the dispatch
+/// decisions in parallel_over / parallel_chunks instead.
 class DepthScope {
  public:
   explicit DepthScope(int depth) : saved_(worker_depth()) {
@@ -116,14 +122,16 @@ class DepthScope {
 /// parallel region runs (benches toggle them between timed phases);
 /// workers only need *a* consistent value per load.
 inline std::atomic<bool>& tree_parallel_flag() {
-  static std::atomic<bool> flag{std::getenv("QFOREST_SERIAL_TREES") ==
-                                nullptr};
+  static std::atomic<bool> flag{
+      std::getenv("QFOREST_SERIAL_TREES") ==  // NOLINT(concurrency-mt-unsafe)
+      nullptr};
   return flag;
 }
 
 inline std::atomic<bool>& intra_tree_flag() {
-  static std::atomic<bool> flag{std::getenv("QFOREST_SERIAL_CHUNKS") ==
-                                nullptr};
+  static std::atomic<bool> flag{
+      std::getenv("QFOREST_SERIAL_CHUNKS") ==  // NOLINT(concurrency-mt-unsafe)
+      nullptr};
   return flag;
 }
 
@@ -135,7 +143,8 @@ inline constexpr std::size_t kDefaultChunkGrain = 4096;
 
 inline std::atomic<std::size_t>& chunk_grain_value() {
   static std::atomic<std::size_t> value{[] {
-    if (const char* env = std::getenv("QFOREST_CHUNK_GRAIN")) {
+    if (const char* env =
+            std::getenv("QFOREST_CHUNK_GRAIN")) {  // NOLINT(concurrency-mt-unsafe)
       const long long v = std::atoll(env);
       if (v > 0) {
         return static_cast<std::size_t>(v);
@@ -396,9 +405,10 @@ class Forest {
   /// tree do too.
   template <class Fn>
   void refine(bool recursive, Fn&& should_refine) {
+    QFOREST_DBG_WRAP_CALLBACK(checked_refine, should_refine);
     adapt_and_rebuild([&] {
       for_each_tree([&](std::size_t ti) {
-        refine_tree(ti, recursive, should_refine);
+        refine_tree(ti, recursive, checked_refine);
       });
     });
   }
@@ -419,10 +429,11 @@ class Forest {
   /// forest pool (coarsening never crosses tree boundaries).
   template <class Fn>
   void coarsen(bool recursive, Fn&& should_coarsen) {
+    QFOREST_DBG_WRAP_CALLBACK(checked_coarsen, should_coarsen);
     adapt_and_rebuild([&] {
       for_each_tree([&](std::size_t ti) {
         CoarsenScratch scratch;  // reused across recursive passes
-        while (coarsen_tree_pass(ti, should_coarsen, scratch) && recursive) {
+        while (coarsen_tree_pass(ti, checked_coarsen, scratch) && recursive) {
         }
       });
     });
@@ -760,8 +771,9 @@ class Forest {
   /// reference.
   template <class Fn>
   void iterate_faces(Fn&& cb) const {
+    QFOREST_DBG_WRAP_CALLBACK(checked_cb, cb);
     if (batch::enabled()) {
-      iterate_faces_batched(cb);
+      iterate_faces_batched(checked_cb);
       return;
     }
     for (tree_id_t t = 0; t < num_trees(); ++t) {
@@ -769,7 +781,7 @@ class Forest {
       for (std::size_t i = 0; i < tree.size(); ++i) {
         const quad_t& q = tree[i];
         for (int f = 0; f < dims::num_faces; ++f) {
-          emit_face(t, i, q, f, cb);
+          emit_face(t, i, q, f, checked_cb);
         }
       }
     }
@@ -948,6 +960,7 @@ class Forest {
       }
       return;
     }
+    QFOREST_DBG_DEPTH_TRANSITION(detail::worker_depth(), 1);
     detail::RegionErrors errors;
     detail::forest_pool().parallel_for(n, [&](std::size_t b, std::size_t e) {
       const detail::DepthScope scope(1);
@@ -985,6 +998,7 @@ class Forest {
       }
       return;
     }
+    QFOREST_DBG_DEPTH_TRANSITION(detail::worker_depth(), 2);
     detail::RegionErrors errors;
     detail::forest_pool().parallel_for_grain(
         n, grain, [&](std::size_t b, std::size_t e) {
@@ -1016,6 +1030,9 @@ class Forest {
     } catch (...) {
       rebuild_offsets();
       partition();
+      QFOREST_DBG_STRUCTURAL(is_valid(),
+                             "forest structurally inconsistent after a "
+                             "throwing adaptation callback");
       throw;
     }
     rebuild_offsets();
@@ -1034,6 +1051,9 @@ class Forest {
         rebuild_offsets();
         partition();
       }
+      QFOREST_DBG_STRUCTURAL(is_valid(),
+                             "forest structurally inconsistent after a "
+                             "throwing balance");
       throw;
     }
   }

@@ -4,6 +4,8 @@
 #include <latch>
 #include <memory>
 
+#include "core/debug_check.hpp"
+
 namespace qforest::par {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -73,10 +75,16 @@ void ThreadPool::parallel_for_grain(
     std::mutex mutex;
     std::exception_ptr error;
     std::size_t error_begin = 0;
-    explicit CallState(std::ptrdiff_t t) : latch(t) {}
+#if QFOREST_DEBUG_CHECKS_ENABLED
+    debug::ChunkCoverage coverage;
+    CallState(std::ptrdiff_t t, std::size_t n, std::size_t grain)
+        : latch(t), coverage(n, grain) {}
+#else
+    CallState(std::ptrdiff_t t, std::size_t, std::size_t) : latch(t) {}
+#endif
   };
-  const auto state =
-      std::make_shared<CallState>(static_cast<std::ptrdiff_t>(tasks));
+  const auto state = std::make_shared<CallState>(
+      static_cast<std::ptrdiff_t>(tasks), n, grain);
   for (std::size_t c = 0; c < tasks; ++c) {
     const std::size_t begin = c * grain;
     const std::size_t end = std::min(n, begin + grain);
@@ -87,6 +95,9 @@ void ThreadPool::parallel_for_grain(
         std::latch* l;
         ~CountDown() { l->count_down(); }
       } guard{&state->latch};
+#if QFOREST_DEBUG_CHECKS_ENABLED
+      state->coverage.claim(begin, end);
+#endif
       try {
         fn(begin, end);
       } catch (...) {
@@ -126,6 +137,10 @@ void ThreadPool::parallel_for_grain(
       break;
     }
   }
+#if QFOREST_DEBUG_CHECKS_ENABLED
+  // All blocks have finished (latch closed): the geometry must add up.
+  state->coverage.finish();
+#endif
   if (state->error) {
     std::rethrow_exception(state->error);
   }

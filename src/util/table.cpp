@@ -26,7 +26,7 @@ std::string Table::fmt(long long value) {
 }
 
 std::string Table::fmt_bytes(unsigned long long bytes) {
-  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  static constexpr const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
   double v = static_cast<double>(bytes);
   int u = 0;
   while (v >= 1024.0 && u < 4) {

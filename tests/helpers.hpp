@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/canonical.hpp"
+#include "core/debug_check.hpp"
 #include "core/quadrant_avx.hpp"
 #include "core/quadrant_morton.hpp"
 #include "core/quadrant_std.hpp"
@@ -17,6 +18,26 @@
 #include "util/random.hpp"
 
 namespace qforest::test {
+
+#if QFOREST_DEBUG_CHECKS_ENABLED
+/// The whole suite runs with the debug-check detectors compiled in (see
+/// tests/CMakeLists.txt): this global environment fails the binary when
+/// any detector recorded a violation that no test consumed — the "clean
+/// suite stays silent" half of the contract. Tests that deliberately seed
+/// a violation (test_debug_checks.cpp) must call
+/// debug::reset_violations() before finishing.
+class DebugCheckSilence : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    EXPECT_EQ(qforest::debug::total_violations(), 0u)
+        << "debug-check detectors recorded unconsumed violations: "
+        << qforest::debug::violation_summary();
+  }
+};
+
+inline ::testing::Environment* const kDebugCheckSilenceEnv =
+    ::testing::AddGlobalTestEnvironment(new DebugCheckSilence);
+#endif
 
 /// Deepest level at which the 64-bit level-relative Morton index of the
 /// representation stays within 63 bits (morton_quadrant precondition).

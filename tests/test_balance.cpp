@@ -2,6 +2,8 @@
 /// \brief 2:1 balance: enforcement, idempotence, minimality-ish bounds,
 /// cross-tree propagation, and the is_balanced checker.
 
+#include <mutex>
+
 #include <gtest/gtest.h>
 
 #include "forest/forest.hpp"
@@ -80,11 +82,19 @@ TYPED_TEST(BalanceT, FaceBalanceWeakerThanFull) {
 
 TYPED_TEST(BalanceT, RandomForestsBecomeBalanced) {
   using R = TypeParam;
+  // The refine callback runs concurrently (tree x chunk contract), so
+  // the shared RNG needs a lock; the resulting mesh varies with the
+  // interleaving, which is exactly what this property test wants.
   Xoshiro256 rng(4242);
+  std::mutex rng_mutex;
   for (int trial = 0; trial < 3; ++trial) {
     auto f = Forest<R>::new_uniform(Connectivity::unit(R::dim), 1);
     f.refine(true, [&](tree_id_t, const typename R::quad_t& q) {
-      return R::level(q) < 6 && rng.next_bool(0.35);
+      if (R::level(q) >= 6) {
+        return false;
+      }
+      const std::lock_guard<std::mutex> lock(rng_mutex);
+      return rng.next_bool(0.35);
     });
     f.balance(BalanceKind::kFull);
     ASSERT_TRUE(f.is_valid());

@@ -4,6 +4,7 @@
 /// four representations to demonstrate the paper's exchangeability claim
 /// at the workflow level.
 
+#include <mutex>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -196,13 +197,22 @@ TYPED_TEST(ForestT, InvalidConstructionArguments) {
 TEST(ForestMixed, RefineCoarsenStressKeepsValidity) {
   using R = MortonRep<3>;
   auto f = Forest<R>::new_uniform(Connectivity::unit(3), 2);
+  // Both callbacks run concurrently (tree x chunk contract), so the
+  // shared RNG needs a lock; the mesh trajectory varies with the
+  // interleaving, which suits this validity stress test.
   Xoshiro256 rng(31337);
+  std::mutex rng_mutex;
   for (int round = 0; round < 6; ++round) {
     f.refine(false, [&](tree_id_t, const R::quad_t& q) {
-      return R::level(q) < 6 && (R::level_index(q) ^ rng.next_u64()) % 3 == 0;
+      if (R::level(q) >= 6) {
+        return false;
+      }
+      const std::lock_guard<std::mutex> lock(rng_mutex);
+      return (R::level_index(q) ^ rng.next_u64()) % 3 == 0;
     });
     ASSERT_TRUE(f.is_valid()) << "after refine round " << round;
     f.coarsen(false, [&](tree_id_t, const R::quad_t*) {
+      const std::lock_guard<std::mutex> lock(rng_mutex);
       return rng.next_bool(0.4);
     });
     ASSERT_TRUE(f.is_valid()) << "after coarsen round " << round;

@@ -48,6 +48,7 @@ def main():
     gated = 0
     skipped = 0
     failures = []
+    rows = []
     for path in args.current:
         for rec in load_records(path):
             if "boost_percent" not in rec:
@@ -62,13 +63,28 @@ def main():
             gated += 1
             regression = base["boost_percent"] - rec["boost_percent"]
             status = "FAIL" if regression > args.threshold else "ok"
-            print(f"[{status}] {'/'.join(str(k) for k in key_of(rec))}: "
-                  f"boost {rec['boost_percent']:.1f}% vs baseline "
-                  f"{base['boost_percent']:.1f}% "
-                  f"(regression {regression:+.1f}pt, limit "
-                  f"{args.threshold:.0f}pt)")
+            rows.append((status,
+                         "/".join(str(k) for k in key_of(rec)),
+                         f"{rec['boost_percent']:.1f}",
+                         f"{base['boost_percent']:.1f}",
+                         f"{regression:+.1f}",
+                         f"{args.threshold:.0f}"))
             if regression > args.threshold:
                 failures.append(key_of(rec))
+
+    # Measured-vs-floor table, printed on success and failure alike so
+    # every CI log shows how much headroom each gated phase has left.
+    if rows:
+        headers = ("status", "bench/rep/phase", "measured %",
+                   "floor %", "regression pt", "limit pt")
+        widths = [max(len(h), max(len(r[i]) for r in rows))
+                  for i, h in enumerate(headers)]
+        def fmt_row(cells):
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+        print(fmt_row(headers))
+        print(fmt_row(tuple("-" * w for w in widths)))
+        for r in rows:
+            print(fmt_row(r))
 
     print(f"gated {gated} record(s), skipped {skipped} "
           f"(non-SIMD or unmatched)")

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Custom concurrency lint for the qforest source tree (stdlib only).
+
+Flags the shared-state patterns that bit this codebase before (racy plain
+statics fixed in PR 5) and that clang-tidy has no check for:
+
+  mutable-static    A namespace- or function-scope `static` (or `inline`)
+                    variable that is mutable and not one of the allowed
+                    synchronized types. Every long-lived mutable global in
+                    a library whose callbacks run on a thread pool must be
+                    std::atomic, mutex-protected, thread_local, or an
+                    internally synchronized type.
+  plain-bool-flag   A mutable static/global `bool` — the classic racy kill
+                    switch; must be std::atomic<bool>.
+  atomic-ref-bool   std::atomic_ref<bool> / atomic_ref over a vector<bool>
+                    element: vector<bool> hands out proxy objects, not
+                    addressable bools, so the atomic_ref is UB; store
+                    std::uint8_t and atomic_ref that instead.
+  volatile-sync     `volatile` used on an integral/bool — volatile is not a
+                    synchronization primitive; use std::atomic.
+
+A finding is suppressed by a trailing `// lint-allow(<rule>): <reason>`
+comment on the same line; the reason is mandatory and the suppression is
+reported in the summary so every exemption stays visible.
+
+Usage: lint_concurrency.py [--quiet] DIR_OR_FILE...
+Exit status 1 when any unsuppressed finding remains.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+
+# Types whose static instances are allowed: internally synchronized,
+# immutable after construction, or confined to one thread.
+ALLOWED_TYPE_RE = re.compile(
+    r"std::atomic\b|std::mutex\b|std::shared_mutex\b|std::once_flag\b"
+    r"|std::condition_variable\b|ThreadPool\b|std::latch\b|std::barrier\b"
+)
+
+QUALIFIER_ALLOW_RE = re.compile(r"\b(constexpr|thread_local)\b")
+
+# `static <type> name ...` where the declaration is a variable, i.e. the
+# declarator is followed by an initializer or the statement just ends —
+# `name(` (a function) is excluded below.
+STATIC_DECL_RE = re.compile(
+    r"^\s*(?:inline\s+)?static\s+(?P<decl>[^;{}()]*?[\w\]>]\s*"
+    r"(?:\[\s*\w*\s*\])?)\s*(?:=|\{|;)"
+)
+
+ALLOW_RE = re.compile(r"//\s*lint-allow\((?P<rule>[\w-]+)\):\s*(?P<reason>.+)")
+
+ATOMIC_REF_BOOL_RE = re.compile(r"std::atomic_ref\s*<\s*bool\s*>")
+VOLATILE_SYNC_RE = re.compile(
+    r"\bvolatile\s+(?:std::)?(?:bool|int|unsigned|long|size_t|u?int\d+_t)\b"
+)
+
+
+def is_function_declaration(decl: str) -> bool:
+    """The declarator names a function when the identifier that ends the
+    matched declaration is immediately a call-like `(` in the raw line —
+    STATIC_DECL_RE already excludes `(` from the match, so a parenthesis
+    right after the declarator means a function or a paren-initializer;
+    treat both as non-findings (paren-init of statics is not used here)."""
+    return False  # STATIC_DECL_RE cannot match function declarations
+
+
+def lint_line(line: str):
+    """Yield (rule, message) findings for one source line."""
+    code = line.split("//", 1)[0]
+
+    if ATOMIC_REF_BOOL_RE.search(code):
+        yield ("atomic-ref-bool",
+               "std::atomic_ref<bool> — vector<bool> elements are proxies "
+               "and bool storage invites it; use std::uint8_t storage")
+
+    if VOLATILE_SYNC_RE.search(code):
+        yield ("volatile-sync",
+               "volatile integral used where synchronization is needed; "
+               "use std::atomic")
+
+    m = STATIC_DECL_RE.match(code)
+    if m:
+        decl = m.group("decl").strip()
+        # `const char* p` declares a MUTABLE pointer to const data: the
+        # variable only counts as immutable when the const applies to the
+        # variable itself (no pointer declarator, or `* const`).
+        if "*" in decl:
+            is_const_var = "* const" in decl or "*const" in decl
+        else:
+            is_const_var = (re.match(r"^const\b", decl) is not None
+                            or " const " in f" {decl} ")
+        if (not QUALIFIER_ALLOW_RE.search(decl)
+                and not ALLOWED_TYPE_RE.search(decl)
+                and not is_const_var):
+            if re.search(r"\bbool\b", decl):
+                yield ("plain-bool-flag",
+                       f"mutable static bool `{decl}` — the classic racy "
+                       "flag; use std::atomic<bool>")
+            else:
+                yield ("mutable-static",
+                       f"mutable static `{decl}` without synchronization; "
+                       "use std::atomic / a mutex / thread_local, or make "
+                       "it const")
+
+
+def lint_file(path: pathlib.Path, quiet: bool):
+    findings = []
+    suppressed = []
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        print(f"{path}: unreadable: {e}", file=sys.stderr)
+        return findings, suppressed
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        hits = list(lint_line(line))
+        if not hits:
+            continue
+        allow = ALLOW_RE.search(line)
+        for rule, message in hits:
+            if allow and allow.group("rule") == rule:
+                suppressed.append((path, lineno, rule, allow.group("reason")))
+            else:
+                findings.append((path, lineno, rule, message))
+    return findings, suppressed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="+", help="directories or files to lint")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress the per-exemption summary")
+    args = ap.parse_args()
+
+    files = []
+    for raw in args.paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            files.extend(sorted(f for f in p.rglob("*")
+                                if f.suffix in SOURCE_SUFFIXES))
+        else:
+            files.append(p)
+
+    all_findings = []
+    all_suppressed = []
+    for f in files:
+        findings, suppressed = lint_file(f, args.quiet)
+        all_findings.extend(findings)
+        all_suppressed.extend(suppressed)
+
+    for path, lineno, rule, message in all_findings:
+        print(f"{path}:{lineno}: [{rule}] {message}")
+    if not args.quiet:
+        for path, lineno, rule, reason in all_suppressed:
+            print(f"{path}:{lineno}: [{rule}] suppressed: {reason}")
+
+    print(f"lint_concurrency: {len(files)} file(s), "
+          f"{len(all_findings)} finding(s), "
+          f"{len(all_suppressed)} suppressed")
+    return 1 if all_findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
