@@ -255,6 +255,17 @@ struct GhostLayer {
   std::vector<Entry> entries;
 };
 
+/// Boundary/interior split of one rank's leaves for communication /
+/// computation overlap (see exchange_ghost_payloads in io.hpp): boundary
+/// holds the rank's mirror leaves — exactly those whose stencils need
+/// ghost data and must wait for the exchange — and interior the
+/// complementary contiguous runs of the rank range, computable while the
+/// exchange is in flight.
+struct RankWorkSplit {
+  std::vector<gidx_t> boundary;  ///< sorted global indices (the mirrors)
+  std::vector<std::pair<gidx_t, gidx_t>> interior;  ///< half-open runs
+};
+
 /// Information passed to the face iteration callback.
 template <class R>
 struct FaceInfo {
@@ -586,6 +597,14 @@ class Forest {
     rank_offsets_ = comm_.block_distribution(num_quadrants());
   }
 
+  /// Re-shard the forest over a different simulated rank count and
+  /// repartition uniformly (scaling experiments reuse one mesh across
+  /// rank counts instead of rebuilding it per count).
+  void set_num_ranks(int num_ranks) {
+    comm_ = par::Communicator(num_ranks);
+    partition();
+  }
+
   // ---------------------------------------------------------------- ghost
 
   /// Remote leaves adjacent (faces, edges and corners) to \p rank's own.
@@ -627,9 +646,32 @@ class Forest {
     return adjacency_scan(first, last, true);
   }
 
+  /// Boundary-first/interior-second split of \p rank's leaves for
+  /// overlap scheduling: boundary = mirrors(rank), interior = the
+  /// complementary runs of rank_range(rank).
+  [[nodiscard]] RankWorkSplit rank_work_split(int rank) const {
+    RankWorkSplit split;
+    split.boundary = mirrors(rank);
+    const auto [first, last] = rank_range(rank);
+    gidx_t pos = first;
+    for (const gidx_t b : split.boundary) {
+      if (b > pos) {
+        split.interior.emplace_back(pos, b);
+      }
+      pos = b + 1;
+    }
+    if (pos < last) {
+      split.interior.emplace_back(pos, last);
+    }
+    return split;
+  }
+
   /// Simulated ghost data exchange (p4est_ghost_exchange_data): fill each
-  /// ghost entry of \p rank with the owner's payload. Requires the
-  /// payload channel. Returns one value per ghost entry, in ghost order.
+  /// ghost entry of \p rank with the owner's payload, read directly from
+  /// shared memory — the single-rank reference the message-passing
+  /// exchange (exchange_ghost_payloads in io.hpp) is verified against.
+  /// Requires the payload channel. Returns one value per ghost entry, in
+  /// ghost order.
   [[nodiscard]] std::vector<std::uint64_t> ghost_exchange(
       int rank, const GhostLayer<R>& ghost) const {
     assert(payload_enabled_);
@@ -1430,36 +1472,92 @@ class Forest {
         }
       }
     });
-    // Serial rebuild consuming accepted families (memory-bound sweep).
-    std::vector<quad_t> out;
-    out.reserve(n);
-    std::vector<std::uint64_t> outp;
-    if (pay) {
-      outp.reserve(n);
-    }
-    bool changed = false;
-    std::size_t i = 0;
-    while (i < n) {
-      if (s.accept[i]) {
-        out.push_back(s.parents[i]);
-        if (pay) {
-          outp.push_back((*pay)[i]);  // parent takes the first child's
+    // Chunk-parallel rebuild consuming accepted families. Chunk
+    // boundaries start at grain multiples and are pulled back to the
+    // start of any accepted family they would cut (an accepted family
+    // occupies [i, i + nc) and families never overlap, so at most one
+    // start lies in the nc-1 slots before a nominal cut) — every chunk's
+    // sweep is then independent of its neighbors. A counting pass turns
+    // per-chunk accept totals into exclusive output offsets, and the
+    // copy pass writes disjoint slices of the output arrays in parallel.
+    const std::size_t grain = chunk_grain();
+    const std::size_t nchunks = batch::chunk_count(n, grain);
+    std::vector<std::size_t> bounds(nchunks + 1);
+    bounds[0] = 0;
+    bounds[nchunks] = n;
+    for (std::size_t c = 1; c < nchunks; ++c) {
+      std::size_t b = c * grain;
+      const std::size_t lo =
+          b >= static_cast<std::size_t>(nc) - 1
+              ? b - (static_cast<std::size_t>(nc) - 1)
+              : 0;
+      for (std::size_t k = lo; k < b; ++k) {
+        if (s.accept[k]) {
+          b = k;
+          break;
         }
-        i += static_cast<std::size_t>(nc);
-        changed = true;
-      } else {
-        out.push_back(tree[i]);
-        if (pay) {
-          outp.push_back((*pay)[i]);
-        }
-        ++i;
       }
+      // A family wider than the grain can pull consecutive cuts onto the
+      // same start; clamping keeps the boundaries monotone (the earlier
+      // chunk simply ends where the family begins, later ones go empty).
+      bounds[c] = b > bounds[c - 1] ? b : bounds[c - 1];
     }
+    std::vector<std::size_t> accepts(nchunks, 0);
+    parallel_chunks(nchunks, 1,
+                    [&](std::size_t, std::size_t cb, std::size_t ce) {
+      for (std::size_t c = cb; c < ce; ++c) {
+        std::size_t a = 0;
+        for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+          a += s.accept[i];
+        }
+        accepts[c] = a;
+      }
+    });
+    std::size_t total_accepts = 0;
+    std::vector<std::size_t> out_base(nchunks);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      out_base[c] =
+          bounds[c] - total_accepts * static_cast<std::size_t>(nc - 1);
+      total_accepts += accepts[c];
+    }
+    if (total_accepts == 0) {
+      return false;  // nothing coarsened: keep the tree untouched
+    }
+    const std::size_t out_n =
+        n - total_accepts * static_cast<std::size_t>(nc - 1);
+    std::vector<quad_t> out(out_n);
+    std::vector<std::uint64_t> outp(pay ? out_n : 0);
+    parallel_chunks(nchunks, 1,
+                    [&](std::size_t, std::size_t cb, std::size_t ce) {
+      for (std::size_t c = cb; c < ce; ++c) {
+        std::size_t o = out_base[c];
+        std::size_t i = bounds[c];
+        while (i < bounds[c + 1]) {
+          if (s.accept[i]) {
+            out[o] = s.parents[i];
+            if (pay) {
+              outp[o] = (*pay)[i];  // parent takes the first child's
+            }
+            ++o;
+            i += static_cast<std::size_t>(nc);
+          } else {
+            out[o] = tree[i];
+            if (pay) {
+              outp[o] = (*pay)[i];
+            }
+            ++o;
+            ++i;
+          }
+        }
+        assert(o == (c + 1 < nchunks ? out_base[c + 1] : out_n) &&
+               "coarsen rebuild chunk wrote an unexpected slice");
+      }
+    });
     tree = std::move(out);
     if (pay) {
       *pay = std::move(outp);
     }
-    return changed;
+    return true;
   }
 
   void rebuild_offsets() {

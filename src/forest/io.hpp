@@ -18,15 +18,23 @@
 ///   trees   u32 K
 ///   per tree: count u64, then count * (x i64, y i64, z i64, level u8)
 
+#include <cassert>
+#include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "core/canonical.hpp"
 #include "forest/forest.hpp"
+#include "par/message_queue.hpp"
+#include "util/timer.hpp"
 
 namespace qforest {
 
@@ -70,6 +78,75 @@ class Fnv1a {
 
  private:
   std::uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+/// Bulk byte-buffer framing for in-process rank messages: the memcpy
+/// twin of write_pod/read_pod over a growable std::vector<uint8_t>
+/// instead of a stream. Arrays are length-prefixed (u64 count) and
+/// copied in one append, so serializing a rank's whole ghost payload
+/// block is one allocation and two memcpys, not a per-entry loop.
+class ByteWriter {
+ public:
+  template <class T>
+  void write(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    append(&v, sizeof v);
+  }
+
+  template <class T>
+  void write_array(const T* data, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(static_cast<std::uint64_t>(n));
+    append(data, n * sizeof(T));
+  }
+
+  void append(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> take() && {
+    return std::move(bytes_);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Read side of ByteWriter's framing; throws on truncated buffers.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : p_(bytes.data()), end_(bytes.data() + bytes.size()) {}
+
+  template <class T>
+  [[nodiscard]] T read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    copy_out(&v, sizeof v);
+    return v;
+  }
+
+  template <class T>
+  [[nodiscard]] std::vector<T> read_array() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = static_cast<std::size_t>(read<std::uint64_t>());
+    std::vector<T> out(n);
+    copy_out(out.data(), n * sizeof(T));
+    return out;
+  }
+
+ private:
+  void copy_out(void* dst, std::size_t n) {
+    if (static_cast<std::size_t>(end_ - p_) < n) {
+      throw std::runtime_error("qforest::io: truncated message buffer");
+    }
+    std::memcpy(dst, p_, n);
+    p_ += n;
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
 };
 
 }  // namespace io_detail
@@ -203,6 +280,158 @@ std::uint64_t forest_checksum(const Forest<R>& forest) {
     }
   }
   return h.digest();
+}
+
+// ------------------------------------------------- sharded ghost exchange
+
+/// User-tag space of the exchange protocol (below par::kInternalTagBase).
+inline constexpr int kTagGhostRequest = 101;  ///< round 1: wanted indices
+inline constexpr int kTagGhostData = 102;     ///< round 2: payload blocks
+
+/// Knobs of exchange_ghost_payloads.
+struct GhostExchangeOptions {
+  /// Overlap interior computation with the in-flight exchange (post
+  /// sends, compute interior, then wait for ghost data). The default
+  /// honors the QFOREST_NO_OVERLAP ablation switch, which forces the
+  /// post-then-wait serial order instead.
+  bool overlap = overlap_default();
+
+  /// Simulated interconnect latency per message (see Mailbox); 0 = none.
+  std::chrono::microseconds delivery_delay{0};
+
+  [[nodiscard]] static bool overlap_default() {
+    return std::getenv("QFOREST_NO_OVERLAP") == nullptr;
+  }
+};
+
+/// Result of one sharded exchange: payloads[r][e] is the payload of rank
+/// r's ghost entry e (aligned with ghosts[r].entries — the same contract
+/// as Forest::ghost_exchange), plus each rank's wall time inside its
+/// worker for per-rank scaling reports.
+struct GhostExchangeResult {
+  std::vector<std::vector<std::uint64_t>> payloads;
+  std::vector<double> rank_seconds;
+};
+
+/// Batched asynchronous ghost-payload exchange across every simulated
+/// rank of \p forest (the message-passing counterpart of the shared-
+/// memory Forest::ghost_exchange reference).
+///
+/// Each rank worker runs a two-round protocol over its mailbox:
+///   1. one *request* message per peer (possibly empty) listing the
+///      global indices this rank's ghost layer needs from that owner, in
+///      ghost-entry order;
+///   2. on receipt of a peer's request, the owner serializes the wanted
+///      payloads in bulk (ByteWriter: index array + value array, two
+///      memcpys) and posts one *data* message back — one message per
+///      (source, target) pair in each direction.
+/// Then the overlap seam: with opt.overlap the rank runs \p interior
+/// (ghost-independent computation, e.g. the interior side of
+/// Forest::rank_work_split) while its data messages are still in flight
+/// and drains them afterwards; without it the rank waits for all data
+/// first (the QFOREST_NO_OVERLAP ablation). Either way \p boundary runs
+/// last with the filled flat ghost buffer.
+///
+/// \p ghosts must hold ghost_layer(r) for every rank r of the forest and
+/// the payload channel must be enabled.
+template <class R, class InteriorFn, class BoundaryFn>
+GhostExchangeResult exchange_ghost_payloads(
+    const Forest<R>& forest, const std::vector<GhostLayer<R>>& ghosts,
+    const GhostExchangeOptions& opt, InteriorFn&& interior,
+    BoundaryFn&& boundary) {
+  assert(forest.payload_enabled());
+  const int p = forest.num_ranks();
+  assert(static_cast<int>(ghosts.size()) == p);
+  GhostExchangeResult res;
+  res.payloads.resize(static_cast<std::size_t>(p));
+  res.rank_seconds.assign(static_cast<std::size_t>(p), 0.0);
+  for (int r = 0; r < p; ++r) {
+    res.payloads[static_cast<std::size_t>(r)].resize(
+        ghosts[static_cast<std::size_t>(r)].entries.size());
+  }
+  par::RankGroup group(p);
+  group.set_delivery_delay(opt.delivery_delay);
+  group.run([&](par::RankCtx& ctx) {
+    const int r = ctx.rank();
+    const auto& entries = ghosts[static_cast<std::size_t>(r)].entries;
+    WallTimer timer;
+    // Round 1: request lists per owner, in ghost-entry order (entries
+    // are sorted by global index, so each owner's sublist is too — the
+    // data blocks come back aligned with a plain per-owner cursor).
+    std::vector<std::vector<gidx_t>> need(static_cast<std::size_t>(p));
+    for (const auto& e : entries) {
+      assert(e.owner != r);
+      need[static_cast<std::size_t>(e.owner)].push_back(e.global_index);
+    }
+    for (int s = 0; s < p; ++s) {
+      if (s != r) {
+        io_detail::ByteWriter w;
+        const auto& idx = need[static_cast<std::size_t>(s)];
+        w.write_array(idx.data(), idx.size());
+        (void)ctx.isend(s, kTagGhostRequest, std::move(w).take());
+      }
+    }
+    // Round 2: serve the p-1 peer requests as they arrive.
+    for (int k = 0; k + 1 < p; ++k) {
+      par::Message m = ctx.recv(par::kAnySource, kTagGhostRequest);
+      io_detail::ByteReader rd(m.bytes);
+      const std::vector<gidx_t> wanted = rd.read_array<gidx_t>();
+      std::vector<std::uint64_t> vals;
+      vals.reserve(wanted.size());
+      for (const gidx_t g : wanted) {
+        const auto [t, i] = forest.locate(g);
+        vals.push_back(forest.tree_payloads(t)[i]);
+      }
+      io_detail::ByteWriter w;
+      w.write_array(wanted.data(), wanted.size());
+      w.write_array(vals.data(), vals.size());
+      (void)ctx.isend(m.source, kTagGhostData, std::move(w).take());
+    }
+    // Receive the p-1 data blocks and scatter them into the flat ghost
+    // buffer in entry order (per-owner cursors; indices echo back for
+    // the alignment check).
+    auto drain = [&] {
+      std::vector<std::vector<gidx_t>> got_idx(static_cast<std::size_t>(p));
+      std::vector<std::vector<std::uint64_t>> got(
+          static_cast<std::size_t>(p));
+      for (int k = 0; k + 1 < p; ++k) {
+        par::Message m = ctx.recv(par::kAnySource, kTagGhostData);
+        io_detail::ByteReader rd(m.bytes);
+        const auto s = static_cast<std::size_t>(m.source);
+        got_idx[s] = rd.read_array<gidx_t>();
+        got[s] = rd.read_array<std::uint64_t>();
+      }
+      auto& out = res.payloads[static_cast<std::size_t>(r)];
+      std::vector<std::size_t> cur(static_cast<std::size_t>(p), 0);
+      for (std::size_t e = 0; e < entries.size(); ++e) {
+        const auto s = static_cast<std::size_t>(entries[e].owner);
+        assert(cur[s] < got[s].size() &&
+               got_idx[s][cur[s]] == entries[e].global_index &&
+               "ghost data block misaligned with ghost layer");
+        out[e] = got[s][cur[s]++];
+      }
+    };
+    if (opt.overlap) {
+      interior(r);
+      drain();
+    } else {
+      drain();
+      interior(r);
+    }
+    boundary(r, res.payloads[static_cast<std::size_t>(r)]);
+    res.rank_seconds[static_cast<std::size_t>(r)] = timer.elapsed_s();
+  });
+  return res;
+}
+
+/// Convenience overload without compute hooks: just the exchange.
+template <class R>
+GhostExchangeResult exchange_ghost_payloads(
+    const Forest<R>& forest, const std::vector<GhostLayer<R>>& ghosts,
+    const GhostExchangeOptions& opt = {}) {
+  return exchange_ghost_payloads(
+      forest, ghosts, opt, [](int) {},
+      [](int, const std::vector<std::uint64_t>&) {});
 }
 
 }  // namespace qforest

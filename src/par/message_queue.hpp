@@ -1,0 +1,450 @@
+#pragma once
+/// \file message_queue.hpp
+/// \brief In-process rank shards with MPI-shaped message passing.
+///
+/// The sharded runtime under the simulated Communicator: every rank is a
+/// worker thread owning one Mailbox (a lock-minimal MPSC queue), and ranks
+/// talk exclusively through tagged byte-buffer messages — the same
+/// source/tag matching, nonblocking request and collective semantics the
+/// AMR algorithms would drive through MPI. Layers:
+///
+///   Mailbox   unbounded multi-producer/single-consumer queue. The push
+///             path is lock-free (one exchange + one store, the classic
+///             Vyukov intrusive MPSC); the only lock is the sleep/wake
+///             handshake of the blocking pop, entered when the queue runs
+///             dry. An optional delivery delay models interconnect
+///             latency so communication/computation overlap is measurable
+///             in-process (there is no real network to hide otherwise).
+///   RankGroup the fabric: one Mailbox per rank plus the abort flag that
+///             unblocks every rank when one worker throws. run(fn) spawns
+///             one thread per rank, joins all of them, and rethrows the
+///             lowest-rank exception deterministically.
+///   RankCtx   what \p fn receives: isend / irecv / wait_all / recv with
+///             (source, tag) matching — messages arriving ahead of their
+///             recv park on an unexpected-message list, exactly MPI's
+///             matching rule — and the collectives exscan, allgather,
+///             alltoallv and barrier built on them.
+///
+/// Threading contract: a Mailbox's pop side and a RankCtx belong to the
+/// one thread run() created them on; push (via isend) is safe from any
+/// rank thread. Collectives must be called by every rank in the same
+/// order — each call burns one internal tag (>= kInternalTagBase) so
+/// adjacent collectives can never cross-match. User tags must stay below
+/// kInternalTagBase.
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace qforest::par {
+
+/// Wildcards accepted by the matching receives.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Tags at or above this value are reserved for the collectives (each
+/// collective call consumes one tag from this space).
+inline constexpr int kInternalTagBase = 1 << 30;
+
+/// One tagged byte-buffer message between ranks.
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Thrown out of blocking receives when another rank's worker failed and
+/// the group was aborted; run() reports the original exception instead.
+class RankAborted : public std::runtime_error {
+ public:
+  RankAborted() : std::runtime_error("qforest::par: rank group aborted") {}
+};
+
+/// Unbounded MPSC mailbox; see the file comment for the design.
+class Mailbox {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Mailbox() : head_(new Node), tail_(head_.load(std::memory_order_relaxed)) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  ~Mailbox() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Lock-free push (any thread): link the node, then take the (empty)
+  /// wake lock so a consumer between its last emptiness check and its
+  /// wait cannot miss the notify.
+  void push(Message m, clock::time_point ready) {
+    Node* node = new Node;
+    node->msg = std::move(m);
+    node->ready = ready;
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+    { std::lock_guard<std::mutex> lock(wake_mutex_); }
+    wake_cv_.notify_one();
+  }
+
+  /// Consumer-only nonblocking pop; ignores delivery delay (used by the
+  /// destructor drain and by tests).
+  bool try_pop(Message& out) { return advance(out) != nullptr; }
+
+  /// Consumer-only blocking pop. Honors the message's delivery-ready
+  /// time by sleeping after dequeue (the queue is FIFO, so the head is
+  /// always the earliest-ready message of this mailbox). Throws
+  /// RankAborted when \p aborted is set while the queue is dry.
+  Message pop_blocking(const std::atomic<bool>& aborted) {
+    Message m;
+    if (!try_pop(m)) {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      while (!try_pop(m)) {
+        if (aborted.load(std::memory_order_acquire)) {
+          throw RankAborted();
+        }
+        wake_cv_.wait(lock);
+      }
+    }
+    if (pending_ready_ > clock::time_point::min()) {
+      std::this_thread::sleep_until(pending_ready_);
+      pending_ready_ = clock::time_point::min();
+    }
+    return m;
+  }
+
+  /// Wake a consumer blocked in pop_blocking (used by the group abort).
+  void interrupt() {
+    { std::lock_guard<std::mutex> lock(wake_mutex_); }
+    wake_cv_.notify_all();
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    Message msg;
+    clock::time_point ready = clock::time_point::min();
+  };
+
+  /// Vyukov consumer step: the payload lives in the *next* node, which
+  /// becomes the new stub. Returns the dequeued node's address (already
+  /// consumed) or nullptr when empty / a producer is mid-push.
+  Node* advance(Message& out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      return nullptr;
+    }
+    out = std::move(next->msg);
+    pending_ready_ = next->ready;
+    tail_ = next;
+    delete tail;
+    return next;
+  }
+
+  std::atomic<Node*> head_;  ///< producers append here
+  Node* tail_;               ///< consumer-owned: current stub node
+  clock::time_point pending_ready_ = clock::time_point::min();
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+};
+
+class RankCtx;
+
+/// The fabric connecting \p size rank shards; see the file comment.
+class RankGroup {
+ public:
+  explicit RankGroup(int size) : boxes_(static_cast<std::size_t>(size)) {
+    if (size < 1) {
+      throw std::invalid_argument("RankGroup size must be positive");
+    }
+  }
+
+  RankGroup(const RankGroup&) = delete;
+  RankGroup& operator=(const RankGroup&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(boxes_.size()); }
+
+  /// Simulated interconnect latency added to every message posted after
+  /// the call: a message becomes receivable \p delay after its isend.
+  void set_delivery_delay(std::chrono::microseconds delay) {
+    delay_us_.store(delay.count(), std::memory_order_relaxed);
+  }
+
+  /// Post a message into \p to's mailbox (safe from any thread).
+  void post(int from, int to, int tag, std::vector<std::uint8_t> bytes) {
+    assert(from >= 0 && from < size() && to >= 0 && to < size());
+    const std::int64_t d = delay_us_.load(std::memory_order_relaxed);
+    const auto ready = d > 0 ? Mailbox::clock::now() +
+                                   std::chrono::microseconds(d)
+                             : Mailbox::clock::time_point::min();
+    boxes_[static_cast<std::size_t>(to)].push(
+        Message{from, tag, std::move(bytes)}, ready);
+  }
+
+  [[nodiscard]] Mailbox& mailbox(int rank) {
+    return boxes_[static_cast<std::size_t>(rank)];
+  }
+
+  [[nodiscard]] const std::atomic<bool>& aborted() const { return aborted_; }
+
+  /// Unblock every rank after a worker failure; their pending blocking
+  /// receives throw RankAborted.
+  void abort_all() {
+    aborted_.store(true, std::memory_order_release);
+    for (auto& box : boxes_) {
+      box.interrupt();
+    }
+  }
+
+  /// Run \p fn(RankCtx&) once per rank. Size 1 runs inline on the
+  /// calling thread (the fast path every single-rank caller hits);
+  /// otherwise one std::thread per rank, all joined before returning.
+  /// When workers throw, the lowest-rank non-abort exception is rethrown
+  /// deterministically.
+  template <class Fn>
+  void run(Fn&& fn);
+
+ private:
+  std::vector<Mailbox> boxes_;
+  std::atomic<bool> aborted_{false};
+  std::atomic<std::int64_t> delay_us_{0};
+};
+
+/// A nonblocking operation handle: sends complete immediately (in-process
+/// post), receives complete in wait_all, which fills \p message.
+struct Request {
+  bool done = false;
+  bool is_recv = false;
+  int peer = kAnySource;  ///< send target / receive source filter
+  int tag = kAnyTag;
+  Message message;  ///< delivered payload once a receive completes
+};
+
+/// Per-rank endpoint handed to RankGroup::run's worker function.
+class RankCtx {
+ public:
+  RankCtx(RankGroup& group, int rank) : group_(group), rank_(rank) {}
+
+  RankCtx(const RankCtx&) = delete;
+  RankCtx& operator=(const RankCtx&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return group_.size(); }
+
+  // ------------------------------------------------------------ point to point
+
+  /// Nonblocking tagged send; completes immediately.
+  Request isend(int to, int tag, std::vector<std::uint8_t> bytes) {
+    group_.post(rank_, to, tag, std::move(bytes));
+    Request r;
+    r.done = true;
+    r.peer = to;
+    r.tag = tag;
+    return r;
+  }
+
+  /// Post a matching receive for (\p from, \p tag); completes in
+  /// wait_all. Both arguments accept the kAny* wildcards.
+  Request irecv(int from = kAnySource, int tag = kAnyTag) {
+    Request r;
+    r.is_recv = true;
+    r.peer = from;
+    r.tag = tag;
+    return r;
+  }
+
+  /// Block until every request completed; received messages land in
+  /// their request's \p message. Messages matching no pending request
+  /// park on the unexpected list for later receives (MPI matching).
+  void wait_all(std::vector<Request>& requests) {
+    for (;;) {
+      bool all_done = true;
+      for (auto& r : requests) {
+        if (!r.done && r.is_recv && take_unexpected(r.peer, r.tag, r.message)) {
+          r.done = true;
+        }
+        all_done = all_done && r.done;
+      }
+      if (all_done) {
+        return;
+      }
+      Message m = group_.mailbox(rank_).pop_blocking(group_.aborted());
+      bool matched = false;
+      for (auto& r : requests) {
+        if (!r.done && r.is_recv && matches(m, r.peer, r.tag)) {
+          r.message = std::move(m);
+          r.done = true;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        unexpected_.push_back(std::move(m));
+      }
+    }
+  }
+
+  /// Blocking matching receive.
+  Message recv(int from = kAnySource, int tag = kAnyTag) {
+    Message m;
+    if (take_unexpected(from, tag, m)) {
+      return m;
+    }
+    for (;;) {
+      m = group_.mailbox(rank_).pop_blocking(group_.aborted());
+      if (matches(m, from, tag)) {
+        return m;
+      }
+      unexpected_.push_back(std::move(m));
+    }
+  }
+
+  // -------------------------------------------------------------- collectives
+
+  /// Gather one trivially copyable value per rank; result[r] is rank r's
+  /// contribution on every rank.
+  template <class T>
+  [[nodiscard]] std::vector<T> allgather(const T& mine) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "allgather element must be trivially copyable");
+    const int tag = next_collective_tag();
+    const int p = size();
+    std::vector<std::uint8_t> bytes(sizeof(T));
+    std::memcpy(bytes.data(), &mine, sizeof(T));
+    for (int s = 0; s < p; ++s) {
+      if (s != rank_) {
+        (void)isend(s, tag, bytes);
+      }
+    }
+    std::vector<T> out(static_cast<std::size_t>(p));
+    out[static_cast<std::size_t>(rank_)] = mine;
+    for (int k = 0; k + 1 < p; ++k) {
+      Message m = recv(kAnySource, tag);
+      assert(m.bytes.size() == sizeof(T));
+      std::memcpy(&out[static_cast<std::size_t>(m.source)], m.bytes.data(),
+                  sizeof(T));
+    }
+    return out;
+  }
+
+  /// Exclusive prefix sum across ranks (MPI_Exscan; rank 0 gets 0).
+  [[nodiscard]] std::int64_t exscan(std::int64_t value) {
+    const std::vector<std::int64_t> all = allgather(value);
+    std::int64_t sum = 0;
+    for (int r = 0; r < rank_; ++r) {
+      sum += all[static_cast<std::size_t>(r)];
+    }
+    return sum;
+  }
+
+  /// Personalized all-to-all over variable-size byte buffers: \p to_each
+  /// holds one buffer per target rank (own slot passes through); the
+  /// result holds one buffer per source rank.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> alltoallv(
+      std::vector<std::vector<std::uint8_t>> to_each) {
+    assert(static_cast<int>(to_each.size()) == size());
+    const int tag = next_collective_tag();
+    const int p = size();
+    for (int s = 0; s < p; ++s) {
+      if (s != rank_) {
+        (void)isend(s, tag, std::move(to_each[static_cast<std::size_t>(s)]));
+      }
+    }
+    std::vector<std::vector<std::uint8_t>> out(static_cast<std::size_t>(p));
+    out[static_cast<std::size_t>(rank_)] =
+        std::move(to_each[static_cast<std::size_t>(rank_)]);
+    for (int k = 0; k + 1 < p; ++k) {
+      Message m = recv(kAnySource, tag);
+      out[static_cast<std::size_t>(m.source)] = std::move(m.bytes);
+    }
+    return out;
+  }
+
+  /// All ranks entered before any rank leaves.
+  void barrier() { (void)allgather<std::uint8_t>(0); }
+
+ private:
+  static bool matches(const Message& m, int from, int tag) {
+    return (from == kAnySource || m.source == from) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  bool take_unexpected(int from, int tag, Message& out) {
+    for (std::size_t i = 0; i < unexpected_.size(); ++i) {
+      if (matches(unexpected_[i], from, tag)) {
+        out = std::move(unexpected_[i]);
+        unexpected_.erase(unexpected_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int next_collective_tag() { return collective_tag_++; }
+
+  RankGroup& group_;
+  int rank_;
+  int collective_tag_ = kInternalTagBase;
+  std::vector<Message> unexpected_;  ///< arrived ahead of their receive
+};
+
+template <class Fn>
+void RankGroup::run(Fn&& fn) {
+  const int p = size();
+  if (p == 1) {
+    RankCtx ctx(*this, 0);
+    fn(ctx);
+    return;
+  }
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  int error_rank = p;  // lowest failing rank wins, aborts rank at worst
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([this, &fn, &error_mutex, &first_error, &error_rank,
+                          r] {
+      try {
+        RankCtx ctx(*this, r);
+        fn(ctx);
+      } catch (const RankAborted&) {
+        // Secondary failure: this rank was unblocked by abort_all after
+        // another rank already threw; keep the original exception.
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (r < error_rank) {
+            error_rank = r;
+            first_error = std::current_exception();
+          }
+        }
+        abort_all();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace qforest::par

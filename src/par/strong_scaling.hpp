@@ -74,4 +74,15 @@ ScalingPoint run_strong_scaling(std::size_t n, int tasks, Kernel&& kernel,
 /// The task counts of the paper's x-axes: powers of two from 2 to 512.
 std::vector<int> paper_task_counts(int max_tasks = 512);
 
+/// The simulated rank counts of the sharded-exchange strong-scaling
+/// bench: powers of two from 8 to \p max_ranks.
+std::vector<int> shard_rank_counts(int max_ranks = 64);
+
+/// Parallel efficiency of a \p ranks-shard wall time against the serial
+/// reference on a host with \p hw_cores: speedup / ideal speedup, where
+/// the ideal is min(ranks, hw_cores) — more shards than cores cannot beat
+/// the core count, and fewer shards than cores cannot use them all.
+double scaling_efficiency(double serial_seconds, double wall_seconds,
+                          int ranks, unsigned hw_cores);
+
 }  // namespace qforest::par

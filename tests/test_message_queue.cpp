@@ -1,0 +1,265 @@
+/// \file test_message_queue.cpp
+/// \brief Sharded rank runtime: MPSC mailbox, (source, tag) matching with
+/// out-of-order delivery, nonblocking requests, the message-passing
+/// collectives, delivery delay and failure propagation.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "par/communicator.hpp"
+#include "par/message_queue.hpp"
+#include "util/timer.hpp"
+
+namespace qforest::par {
+namespace {
+
+std::vector<std::uint8_t> byte_payload(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> bytes;
+  for (int v : values) {
+    bytes.push_back(static_cast<std::uint8_t>(v));
+  }
+  return bytes;
+}
+
+TEST(Mailbox, PushPopPreservesFifoPerQueue) {
+  Mailbox box;
+  for (int i = 0; i < 5; ++i) {
+    box.push(Message{0, i, byte_payload({i})},
+             Mailbox::clock::time_point::min());
+  }
+  Message m;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(box.try_pop(m));
+    EXPECT_EQ(m.tag, i);
+    ASSERT_EQ(m.bytes.size(), 1u);
+    EXPECT_EQ(m.bytes[0], static_cast<std::uint8_t>(i));
+  }
+  EXPECT_FALSE(box.try_pop(m));
+}
+
+TEST(RankGroup, SendRecvRoundTrip) {
+  RankGroup group(2);
+  group.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      (void)ctx.isend(1, 7, byte_payload({42}));
+    } else {
+      const Message m = ctx.recv(0, 7);
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 7);
+      ASSERT_EQ(m.bytes.size(), 1u);
+      EXPECT_EQ(m.bytes[0], 42u);
+    }
+  });
+}
+
+TEST(RankGroup, TagMatchingHandlesOutOfOrderDelivery) {
+  // The sender posts tags 7 then 3; the receiver asks for 3 first. The
+  // tag-7 message arrives ahead of its recv, parks on the unexpected
+  // list and is delivered by the later matching receive.
+  RankGroup group(2);
+  group.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      (void)ctx.isend(1, 7, byte_payload({77}));
+      (void)ctx.isend(1, 3, byte_payload({33}));
+    } else {
+      const Message first = ctx.recv(0, 3);
+      EXPECT_EQ(first.bytes[0], 33u);
+      const Message second = ctx.recv(0, 7);
+      EXPECT_EQ(second.bytes[0], 77u);
+    }
+  });
+}
+
+TEST(RankGroup, SourceMatchingAndWildcards) {
+  RankGroup group(4);
+  group.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      // Ask for rank 2's message first although ranks 1..3 all send.
+      const Message from2 = ctx.recv(2, kAnyTag);
+      EXPECT_EQ(from2.source, 2);
+      int seen = 0;
+      for (int k = 0; k < 2; ++k) {
+        const Message any = ctx.recv(kAnySource, kAnyTag);
+        EXPECT_NE(any.source, 2);
+        seen += any.source;
+      }
+      EXPECT_EQ(seen, 1 + 3);
+    } else {
+      (void)ctx.isend(0, ctx.rank(), byte_payload({ctx.rank()}));
+    }
+  });
+}
+
+TEST(RankGroup, ManyProducersOneConsumer) {
+  // MPSC stress: every other rank floods rank 0; the sum of all payload
+  // bytes must arrive intact (this is the TSAN workout for the lock-free
+  // push path).
+  constexpr int kRanks = 8;
+  constexpr int kPerRank = 200;
+  RankGroup group(kRanks);
+  group.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      std::int64_t sum = 0;
+      for (int k = 0; k < (kRanks - 1) * kPerRank; ++k) {
+        const Message m = ctx.recv();
+        sum += m.bytes.at(0);
+      }
+      EXPECT_EQ(sum, std::int64_t{kRanks - 1} * kPerRank * 5);
+    } else {
+      for (int k = 0; k < kPerRank; ++k) {
+        (void)ctx.isend(0, k, byte_payload({5}));
+      }
+    }
+  });
+}
+
+TEST(RankGroup, IrecvWaitAllCompletesInAnyOrder) {
+  RankGroup group(4);
+  group.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      std::vector<Request> reqs;
+      for (int s = 3; s >= 1; --s) {  // posted in reverse source order
+        reqs.push_back(ctx.irecv(s, 11));
+      }
+      reqs.push_back(ctx.isend(1, 12, byte_payload({1})));
+      ctx.wait_all(reqs);
+      for (const auto& r : reqs) {
+        EXPECT_TRUE(r.done);
+      }
+      EXPECT_EQ(reqs[0].message.source, 3);
+      EXPECT_EQ(reqs[1].message.source, 2);
+      EXPECT_EQ(reqs[2].message.source, 1);
+      EXPECT_EQ(reqs[2].message.bytes[0], 10u);
+    } else {
+      (void)ctx.isend(0, 11, byte_payload({10 * ctx.rank()}));
+      if (ctx.rank() == 1) {
+        (void)ctx.recv(0, 12);
+      }
+    }
+  });
+}
+
+TEST(RankGroup, CollectivesAgreeAcrossRanks) {
+  constexpr int kRanks = 6;
+  RankGroup group(kRanks);
+  std::vector<std::int64_t> prefixes(kRanks, -1);
+  group.run([&](RankCtx& ctx) {
+    const int r = ctx.rank();
+    // allgather: every rank sees every contribution in rank order.
+    const std::vector<int> all = ctx.allgather(r * r);
+    ASSERT_EQ(static_cast<int>(all.size()), kRanks);
+    for (int s = 0; s < kRanks; ++s) {
+      EXPECT_EQ(all[static_cast<std::size_t>(s)], s * s);
+    }
+    // exscan: exclusive prefix of rank indices.
+    prefixes[static_cast<std::size_t>(r)] = ctx.exscan(r + 1);
+    // alltoallv: rank r sends (r + s + 1) bytes of value r to rank s.
+    std::vector<std::vector<std::uint8_t>> to_each(kRanks);
+    for (int s = 0; s < kRanks; ++s) {
+      to_each[static_cast<std::size_t>(s)].assign(
+          static_cast<std::size_t>(r + s + 1),
+          static_cast<std::uint8_t>(r));
+    }
+    const auto from_each = ctx.alltoallv(std::move(to_each));
+    ASSERT_EQ(static_cast<int>(from_each.size()), kRanks);
+    for (int s = 0; s < kRanks; ++s) {
+      const auto& buf = from_each[static_cast<std::size_t>(s)];
+      ASSERT_EQ(buf.size(), static_cast<std::size_t>(r + s + 1));
+      for (const std::uint8_t b : buf) {
+        EXPECT_EQ(b, static_cast<std::uint8_t>(s));
+      }
+    }
+    ctx.barrier();
+  });
+  std::int64_t expect = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(prefixes[static_cast<std::size_t>(r)], expect);
+    expect += r + 1;
+  }
+}
+
+TEST(RankGroup, BackToBackCollectivesDoNotCrossMatch) {
+  // Each collective call burns one internal tag; values from consecutive
+  // allgathers must never mix even though all messages share mailboxes.
+  RankGroup group(5);
+  group.run([](RankCtx& ctx) {
+    for (int round = 0; round < 20; ++round) {
+      const std::vector<int> all = ctx.allgather(round * 100 + ctx.rank());
+      for (int s = 0; s < ctx.size(); ++s) {
+        EXPECT_EQ(all[static_cast<std::size_t>(s)], round * 100 + s);
+      }
+    }
+  });
+}
+
+TEST(RankGroup, SizeOneRunsInlineWithoutThreads) {
+  RankGroup group(1);
+  std::thread::id caller = std::this_thread::get_id();
+  group.run([&](RankCtx& ctx) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(ctx.size(), 1);
+    EXPECT_EQ(ctx.allgather(7), std::vector<int>{7});
+    EXPECT_EQ(ctx.exscan(9), 0);
+    ctx.barrier();
+  });
+}
+
+TEST(RankGroup, DeliveryDelayHoldsMessagesBack) {
+  RankGroup group(2);
+  group.set_delivery_delay(std::chrono::milliseconds(20));
+  group.run([](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      (void)ctx.isend(1, 1, {});
+    } else {
+      WallTimer t;
+      (void)ctx.recv(0, 1);
+      // Generous lower bound: the message cannot be receivable before
+      // its ready time (minus scheduler resolution slack).
+      EXPECT_GE(t.elapsed_s(), 0.010);
+    }
+  });
+}
+
+TEST(RankGroup, WorkerExceptionUnblocksPeersAndPropagates) {
+  // Rank 2 throws before sending; rank 0 would block forever on the
+  // matching recv without the group abort. run() must rethrow the
+  // original exception, not the secondary RankAborted of rank 0.
+  RankGroup group(3);
+  bool caught = false;
+  try {
+    group.run([](RankCtx& ctx) {
+      if (ctx.rank() == 2) {
+        throw std::runtime_error("boom on rank 2");
+      }
+      if (ctx.rank() == 0) {
+        (void)ctx.recv(2, 1);
+        FAIL() << "recv from the failed rank must not complete";
+      }
+    });
+  } catch (const std::runtime_error& e) {
+    caught = true;
+    EXPECT_STREQ(e.what(), "boom on rank 2");
+  }
+  EXPECT_TRUE(caught);
+}
+
+TEST(Communicator, RunRanksExposesTheQueue) {
+  Communicator comm(4);
+  std::atomic<int> total{0};
+  comm.run_ranks([&](RankCtx& ctx) {
+    const auto all = ctx.allgather(1);
+    total.fetch_add(std::accumulate(all.begin(), all.end(), 0));
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+}  // namespace
+}  // namespace qforest::par

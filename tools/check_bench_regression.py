@@ -10,10 +10,13 @@ any matched record regresses by more than --threshold percentage points:
         build/bench/BENCH_balance_mark.json
 
 Records are matched on (bench, rep, phase). Only records whose current
-run reports simd_active=true are gated: the non-SIMD representations and
-scalar-forced builds measure staging overhead whose boost hovers around
-zero and would only add noise. A run with no SIMD-active records (e.g.
-the scalar-forced CI leg or a non-AVX host) passes trivially.
+run reports simd_active=true OR gate=true are gated: the non-SIMD
+representations and scalar-forced builds measure staging overhead whose
+boost hovers around zero and would only add noise, and benches that are
+meaningless on the current host (e.g. the strong-scaling overlap boost
+on a 1-core runner) mark their records gate=false. A run with no
+gateable records (e.g. the scalar-forced CI leg or a non-AVX host)
+passes trivially.
 
 The committed baseline holds conservative floors (see the file's note),
 so the gate catches real collapses — a batched path silently falling back
@@ -53,7 +56,7 @@ def main():
         for rec in load_records(path):
             if "boost_percent" not in rec:
                 continue
-            if not rec.get("simd_active", False):
+            if not (rec.get("simd_active", False) or rec.get("gate", False)):
                 skipped += 1
                 continue
             base = baseline.get(key_of(rec))
@@ -87,13 +90,13 @@ def main():
             print(fmt_row(r))
 
     print(f"gated {gated} record(s), skipped {skipped} "
-          f"(non-SIMD or unmatched)")
+          f"(ungateable or unmatched)")
     if failures:
         print(f"bench regression gate FAILED for {len(failures)} record(s)",
               file=sys.stderr)
         return 1
     if gated == 0:
-        print("no SIMD-active records to gate (scalar build/host): pass")
+        print("no gateable records (scalar build / unsuited host): pass")
     return 0
 
 

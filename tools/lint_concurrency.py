@@ -18,6 +18,11 @@ statics fixed in PR 5) and that clang-tidy has no check for:
                     std::uint8_t and atomic_ref that instead.
   volatile-sync     `volatile` used on an integral/bool — volatile is not a
                     synchronization primitive; use std::atomic.
+  detached-thread   `.detach()` on a thread — detached threads outlive
+                    scope, race with static destruction and swallow
+                    exceptions; library threads must be joined (the rank
+                    runtime in src/par/message_queue.hpp) or owned by the
+                    pool.
 
 A finding is suppressed by a trailing `// lint-allow(<rule>): <reason>`
 comment on the same line; the reason is mandatory and the suppression is
@@ -54,6 +59,7 @@ STATIC_DECL_RE = re.compile(
 ALLOW_RE = re.compile(r"//\s*lint-allow\((?P<rule>[\w-]+)\):\s*(?P<reason>.+)")
 
 ATOMIC_REF_BOOL_RE = re.compile(r"std::atomic_ref\s*<\s*bool\s*>")
+DETACHED_THREAD_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
 VOLATILE_SYNC_RE = re.compile(
     r"\bvolatile\s+(?:std::)?(?:bool|int|unsigned|long|size_t|u?int\d+_t)\b"
 )
@@ -76,6 +82,11 @@ def lint_line(line: str):
         yield ("atomic-ref-bool",
                "std::atomic_ref<bool> — vector<bool> elements are proxies "
                "and bool storage invites it; use std::uint8_t storage")
+
+    if DETACHED_THREAD_RE.search(code):
+        yield ("detached-thread",
+               "detached thread in library code — join it (or hand it to "
+               "the pool / rank runtime) so shutdown stays deterministic")
 
     if VOLATILE_SYNC_RE.search(code):
         yield ("volatile-sync",
