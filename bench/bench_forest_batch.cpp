@@ -19,6 +19,7 @@
 #include "core/quadrant_std.hpp"
 #include "core/quadrant_wide.hpp"
 #include "forest/forest.hpp"
+#include "obs/metrics.hpp"
 #include "simd/feature_detect.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -167,6 +168,24 @@ int main() {
   table.print();
   std::printf("\n(scalar and batched dispatch must agree on the mesh; the "
               "non-avx representations measure staging overhead alone.)\n");
+
+  // Metrics snapshot: one untimed workflow pass with the obs registry
+  // enabled, embedded in the JSON artifact so CI archives the adaptation
+  // counters (waves, splice sizes, coarsen accept/reject) alongside the
+  // timings. The timed phases above ran with metrics off, so the gated
+  // regression records are unaffected.
+  obs::reset_metrics();
+  obs::set_metrics(true);
+  batch::set_enabled(true);
+  run_workflow<MortonRep<3>>(base_level, max_depth, 1);
+  obs::set_metrics(false);
+  json.begin_record();
+  json.field("bench", "forest_batch");
+  json.field("phase", "metrics_snapshot");
+  json.field("rep", MortonRep<3>::name);
+  json.field_raw("metrics", obs::metrics_json());
+  std::printf("\n== obs metrics (one enabled workflow pass, morton rep) "
+              "==\n%s", obs::metrics_summary().c_str());
 
   json.write("BENCH_forest.json");
   return 0;

@@ -46,6 +46,11 @@ class BenchJson {
   void field(const char* key, bool value) {
     add(key, value ? "true" : "false");
   }
+  /// Embed a pre-serialized JSON value verbatim (e.g. a metrics snapshot
+  /// from obs::metrics_json()). The caller guarantees it is valid JSON.
+  void field_raw(const char* key, const std::string& json_value) {
+    add(key, json_value);
+  }
 
   /// Write the document; returns false (and keeps quiet) on I/O failure so
   /// benches never fail because a working directory is read-only.

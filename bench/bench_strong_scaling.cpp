@@ -31,6 +31,7 @@
 /// iterations per leaf, default 32), QFOREST_SS_LATENCY_US,
 /// QFOREST_SS_MAX_RANKS (default 64), QFOREST_SS_ENFORCE.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +42,8 @@
 #include "core/quadrant_morton.hpp"
 #include "forest/forest.hpp"
 #include "forest/io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/strong_scaling.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -340,7 +343,39 @@ int main() {
   table.print();
   std::printf("\n(every round's exchanged payloads are verified against "
               "the shared-memory single-rank reference.)\n");
+
+  // Metrics snapshot: one untimed exchange round (both overlap orders) at
+  // a modest rank count with the obs registry enabled — the message/round
+  // counters land in the JSON artifact next to the timings. The timed
+  // series above ran with metrics off, so the gated records are
+  // unaffected.
+  {
+    const int p = std::min(8, k.max_ranks);
+    Forest<R3> f = mesh;
+    f.set_num_ranks(p);
+    ShardSetup setup = prepare_shards(f);
+    obs::reset_metrics();
+    obs::set_metrics(true);
+    (void)timed_round(f, setup, true, k, nullptr);
+    (void)timed_round(f, setup, false, k, nullptr);
+    obs::set_metrics(false);
+    json.begin_record();
+    json.field("bench", "strong_scaling");
+    json.field("rep", R3::name);
+    json.field("phase", "metrics_snapshot");
+    json.field("ranks", static_cast<long long>(p));
+    json.field_raw("metrics", obs::metrics_json());
+    std::printf("\n== obs metrics (one enabled exchange round per overlap "
+                "order, %d ranks) ==\n%s",
+                p, obs::metrics_summary().c_str());
+  }
+
   json.write("BENCH_strong_scaling.json");
+  // Under QFOREST_TRACE=1 every span from the run above (including the
+  // metrics-snapshot rounds) lands in the Perfetto-loadable trace; the
+  // overlap ablation is visible as ghost.interior spans inside (overlap)
+  // or after (no-overlap) the ghost.inflight spans.
+  obs::write_trace_if_enabled("TRACE_strong_scaling.json");
 
   const bool enforceable = k.enforce && cores >= kEnforceMinCores &&
                            leaves >= kEnforceMinLeaves;

@@ -16,6 +16,7 @@
 
 #include "core/canonical.hpp"
 #include "forest/forest.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -113,6 +114,10 @@ int run() {
   // 5. The mesh, one digit per finest-level cell (digit = leaf level).
   std::printf("\nmesh levels (level-6 resolution):\n");
   render(forest, 6);
+
+  // With QFOREST_TRACE=1 the adaptation spans above (refine, balance,
+  // adjacency scans) land in a Perfetto-loadable trace; a no-op otherwise.
+  qforest::obs::write_trace_if_enabled("TRACE_quickstart.json");
   return 0;
 }
 

@@ -63,6 +63,8 @@
 #include "core/types.hpp"
 #include "forest/connectivity.hpp"
 #include "forest/point_query.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/communicator.hpp"
 #include "par/thread_pool.hpp"
 #include "util/log.hpp"
@@ -416,12 +418,14 @@ class Forest {
   /// tree do too.
   template <class Fn>
   void refine(bool recursive, Fn&& should_refine) {
+    obs::TraceSpan span("forest", "refine");
     QFOREST_DBG_WRAP_CALLBACK(checked_refine, should_refine);
     adapt_and_rebuild([&] {
       for_each_tree([&](std::size_t ti) {
         refine_tree(ti, recursive, checked_refine);
       });
     });
+    span.arg("leaves", static_cast<std::int64_t>(num_quadrants()));
   }
 
   // ---------------------------------------------------------------- coarsen
@@ -440,6 +444,7 @@ class Forest {
   /// forest pool (coarsening never crosses tree boundaries).
   template <class Fn>
   void coarsen(bool recursive, Fn&& should_coarsen) {
+    obs::TraceSpan span("forest", "coarsen");
     QFOREST_DBG_WRAP_CALLBACK(checked_coarsen, should_coarsen);
     adapt_and_rebuild([&] {
       for_each_tree([&](std::size_t ti) {
@@ -448,6 +453,7 @@ class Forest {
         }
       });
     });
+    span.arg("leaves", static_cast<std::int64_t>(num_quadrants()));
   }
 
   // ---------------------------------------------------------------- balance
@@ -475,6 +481,9 @@ class Forest {
   /// An already-balanced forest is a no-op: no split, no leaf-array
   /// rebuild, no repartition.
   void balance(BalanceKind kind = BalanceKind::kFull) {
+    obs::TraceSpan span("forest", "balance");
+    static obs::Counter& c_iterations = obs::counter("forest.balance.iterations");
+    std::int64_t iterations = 0;
     bool any_changed = false;
     bool changed = true;
     // Split bitmaps, grids and the dirty list are hoisted out of the
@@ -486,6 +495,8 @@ class Forest {
     std::vector<std::uint8_t> grid_valid(trees_.size(), 0);
     adapt_guard([&] {
       while (changed) {
+        c_iterations.add(1);
+        ++iterations;
         for (std::size_t t = 0; t < trees_.size(); ++t) {
           split[t].assign(trees_[t].size(), 0);
         }
@@ -517,6 +528,8 @@ class Forest {
       rebuild_offsets();
       partition();
     }
+    span.arg("iterations", iterations);
+    span.arg("leaves", static_cast<std::int64_t>(num_quadrants()));
   }
 
   /// Check the 2:1 condition without modifying the forest.
@@ -717,6 +730,10 @@ class Forest {
   /// traversal search() remains the API for callback-driven descents.
   [[nodiscard]] std::vector<gidx_t> search_points(
       const std::vector<PointQuery>& queries) const {
+    obs::TraceSpan span("forest", "search_points");
+    span.arg("queries", static_cast<std::int64_t>(queries.size()));
+    static obs::Histogram& h_sweep =
+        obs::histogram("forest.search.sweep_size");
     const std::int64_t root = std::int64_t{1} << kCanonicalLevel;
     for (const PointQuery& p : queries) {
       if (p.tree < 0 || p.tree >= num_trees() || p.x < 0 || p.x >= root ||
@@ -756,6 +773,7 @@ class Forest {
       if (b == e) {
         return;
       }
+      h_sweep.record(e - b);
       std::vector<std::pair<quad_t, std::size_t>> pts;
       pts.reserve(e - b);
       for (std::size_t k = b; k < e; ++k) {
@@ -813,6 +831,7 @@ class Forest {
   /// reference.
   template <class Fn>
   void iterate_faces(Fn&& cb) const {
+    obs::TraceSpan span("forest", "iterate_faces");
     QFOREST_DBG_WRAP_CALLBACK(checked_cb, cb);
     if (batch::enabled()) {
       iterate_faces_batched(checked_cb);
@@ -1134,6 +1153,10 @@ class Forest {
     if (!any.load(std::memory_order_relaxed)) {
       return;
     }
+    static obs::Counter& c_waves = obs::counter("forest.refine.waves");
+    static obs::Counter& c_rebuilds = obs::counter("forest.refine.wave_rebuilds");
+    static obs::Counter& c_splices = obs::counter("forest.refine.wave_splices");
+    c_waves.add(1);
     std::vector<std::size_t> fresh;  // new-children indices, ascending
     apply_splits(tree, pay, split, recursive ? &fresh : nullptr);
 
@@ -1149,14 +1172,17 @@ class Forest {
         break;
       }
       constexpr int nc = dims::num_children;
+      c_waves.add(1);
       if (positions.size() * static_cast<std::size_t>(nc) * 4 >=
           tree.size()) {
+        c_rebuilds.add(1);
         split.assign(tree.size(), 0);
         for (const std::size_t p : positions) {
           split[p] = 1;
         }
         apply_splits(tree, pay, split, &fresh);
       } else {
+        c_splices.add(1);
         splice_splits(tree, pay, positions, fresh);
       }
     }
@@ -1298,11 +1324,21 @@ class Forest {
 
   /// Sparse-wave apply: split exactly the leaves at the ascending
   /// \p positions, splicing each one's 2^d children into the array in
-  /// place with a single backward shift — the leaves before the first
-  /// split position are never touched, unlike the full rebuild. Children
-  /// are still produced in level-uniform batches through BatchOps<R>.
-  /// \p fresh is replaced by the ascending output indices of the new
-  /// children.
+  /// place — the leaves before the first split position are never
+  /// touched, unlike the full rebuild. Children are still produced in
+  /// level-uniform batches through BatchOps<R>. \p fresh is replaced by
+  /// the ascending output indices of the new children.
+  ///
+  /// Small tails take a single serial backward shift. Large tails (>= 2
+  /// chunk grains past the first split) run chunk-parallel instead: the
+  /// moving tail is copied to a scratch buffer, then every chunk
+  /// scatters its leaves to their final slots independently — old index
+  /// i lands at i + S(i)*(2^d - 1), where S(i) (the number of split
+  /// positions below i, one lower_bound per chunk) is the slots the
+  /// splits below have grown the array by. Destination ranges of
+  /// distinct chunks are disjoint, so the scatter needs no
+  /// synchronization; the cost is one extra copy of the tail, which is
+  /// why the serial shift is kept for short tails.
   static void splice_splits(std::vector<quad_t>& leaves,
                             std::vector<std::uint64_t>* pay,
                             const std::vector<std::size_t>& positions,
@@ -1343,39 +1379,108 @@ class Forest {
       pay->resize(out_n);
     }
     fresh.assign(m * static_cast<std::size_t>(nc), 0);
-    // Backward shift: process split positions last to first, moving the
-    // tail block after each one into its final place, then writing the
-    // children over the gap (which covers the parent's old slot).
-    std::size_t src = n;      // exclusive end of the next block to move
-    std::size_t dst = out_n;  // exclusive end of its destination
-    for (std::size_t j = m; j-- > 0;) {
-      const std::size_t p = positions[j];
-      const std::size_t len = src - (p + 1);
-      std::move_backward(leaves.begin() + static_cast<std::ptrdiff_t>(p + 1),
-                         leaves.begin() + static_cast<std::ptrdiff_t>(src),
-                         leaves.begin() + static_cast<std::ptrdiff_t>(dst));
-      if (pay) {
-        std::move_backward(pay->begin() + static_cast<std::ptrdiff_t>(p + 1),
-                           pay->begin() + static_cast<std::ptrdiff_t>(src),
-                           pay->begin() + static_cast<std::ptrdiff_t>(dst));
-      }
-      dst -= len;
-      const auto l = static_cast<std::size_t>(lev[j]);
-      const std::size_t k = staged.count(l);
-      const std::uint64_t parent_pay = pay ? (*pay)[p] : 0;
-      for (int c = 0; c < nc; ++c) {
-        const std::size_t o = dst - static_cast<std::size_t>(nc - c);
-        leaves[o] = kids[l][static_cast<std::size_t>(c) * k + rank[j]];
+
+    static obs::Counter& c_serial = obs::counter("forest.refine.splice_serial");
+    static obs::Counter& c_parallel =
+        obs::counter("forest.refine.splice_parallel");
+    static obs::Histogram& h_splits =
+        obs::histogram("forest.refine.splice_splits");
+    static obs::Histogram& h_moved =
+        obs::histogram("forest.refine.splice_moved");
+    const std::size_t base = positions.front();
+    const std::size_t tail = n - base;  // leaves at or past the first split
+    h_splits.record(m);
+    h_moved.record(tail);
+
+    const std::size_t grain = chunk_grain();
+    const bool parallel = tail >= 2 * grain && tree_parallelism() &&
+                          intra_tree_parallelism() &&
+                          detail::worker_depth() < 2;
+    if (!parallel) {
+      c_serial.add(1);
+      // Backward shift: process split positions last to first, moving the
+      // tail block after each one into its final place, then writing the
+      // children over the gap (which covers the parent's old slot).
+      std::size_t src = n;      // exclusive end of the next block to move
+      std::size_t dst = out_n;  // exclusive end of its destination
+      for (std::size_t j = m; j-- > 0;) {
+        const std::size_t p = positions[j];
+        const std::size_t len = src - (p + 1);
+        std::move_backward(leaves.begin() + static_cast<std::ptrdiff_t>(p + 1),
+                           leaves.begin() + static_cast<std::ptrdiff_t>(src),
+                           leaves.begin() + static_cast<std::ptrdiff_t>(dst));
         if (pay) {
-          (*pay)[o] = parent_pay;
+          std::move_backward(pay->begin() + static_cast<std::ptrdiff_t>(p + 1),
+                             pay->begin() + static_cast<std::ptrdiff_t>(src),
+                             pay->begin() + static_cast<std::ptrdiff_t>(dst));
         }
-        fresh[j * static_cast<std::size_t>(nc) +
-              static_cast<std::size_t>(c)] = o;
+        dst -= len;
+        const auto l = static_cast<std::size_t>(lev[j]);
+        const std::size_t k = staged.count(l);
+        const std::uint64_t parent_pay = pay ? (*pay)[p] : 0;
+        for (int c = 0; c < nc; ++c) {
+          const std::size_t o = dst - static_cast<std::size_t>(nc - c);
+          leaves[o] = kids[l][static_cast<std::size_t>(c) * k + rank[j]];
+          if (pay) {
+            (*pay)[o] = parent_pay;
+          }
+          fresh[j * static_cast<std::size_t>(nc) +
+                static_cast<std::size_t>(c)] = o;
+        }
+        dst -= static_cast<std::size_t>(nc);
+        src = p;
       }
-      dst -= static_cast<std::size_t>(nc);
-      src = p;
+      assert(dst == src);
+      return;
     }
-    assert(dst == src);
+
+    // Parallel scatter. Chunks partition the old tail [base, n); each
+    // writes a disjoint destination range [b + S(b)*(nc-1), ...) of the
+    // output (a split position's nc children are emitted where its one
+    // old slot was, growing the cursor by nc-1), and fresh[j*nc..] is
+    // owned by whichever chunk holds position j. Reads come only from
+    // the scratch copy and the shared read-only staging arrays.
+    std::vector<quad_t> scratch(leaves.begin() + static_cast<std::ptrdiff_t>(base),
+                                leaves.begin() + static_cast<std::ptrdiff_t>(n));
+    std::vector<std::uint64_t> pscratch;
+    if (pay) {
+      pscratch.assign(pay->begin() + static_cast<std::ptrdiff_t>(base),
+                      pay->begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    c_parallel.add(1);
+    parallel_chunks(tail, grain,
+                    [&](std::size_t, std::size_t cb, std::size_t ce) {
+      // Splits below this chunk's first leaf: everything before it has
+      // already grown the output by j * (nc - 1) slots.
+      std::size_t j = static_cast<std::size_t>(
+          std::lower_bound(positions.begin(), positions.end(), base + cb) -
+          positions.begin());
+      std::size_t o = base + cb + j * static_cast<std::size_t>(nc - 1);
+      for (std::size_t i = cb; i < ce; ++i) {
+        const std::size_t src_i = base + i;
+        if (j < m && positions[j] == src_i) {
+          const auto l = static_cast<std::size_t>(lev[j]);
+          const std::size_t k = staged.count(l);
+          const std::uint64_t parent_pay = pay ? pscratch[i] : 0;
+          for (int c = 0; c < nc; ++c) {
+            leaves[o] = kids[l][static_cast<std::size_t>(c) * k + rank[j]];
+            if (pay) {
+              (*pay)[o] = parent_pay;
+            }
+            fresh[j * static_cast<std::size_t>(nc) +
+                  static_cast<std::size_t>(c)] = o;
+            ++o;
+          }
+          ++j;
+        } else {
+          leaves[o] = scratch[i];
+          if (pay) {
+            (*pay)[o] = pscratch[i];
+          }
+          ++o;
+        }
+      }
+    });
   }
 
   /// Reusable buffers of coarsen_tree_pass, so recursive coarsening does
@@ -1457,8 +1562,13 @@ class Forest {
     // boundaries are safe to cut anywhere: the fam test only *reads* up
     // to nc - 1 entries past the chunk end.
     s.accept.assign(n, 0);
+    static obs::Counter& c_accepted =
+        obs::counter("forest.coarsen.families_accepted");
+    static obs::Counter& c_rejected =
+        obs::counter("forest.coarsen.families_rejected");
     parallel_chunks(n, chunk_grain(),
                     [&](std::size_t, std::size_t b, std::size_t e) {
+      std::size_t rejected = 0;
       for (std::size_t i = b; i < e; ++i) {
         bool fam = i + static_cast<std::size_t>(nc) <= n &&
                    s.levels[i] > 0 && s.ids[i] == 0;
@@ -1467,9 +1577,16 @@ class Forest {
           fam = s.levels[j] == s.levels[i] && s.ids[j] == c &&
                 s.eq[j - 1] != 0;
         }
-        if (fam && should_coarsen(t, tree.data() + i)) {
-          s.accept[i] = 1;
+        if (fam) {
+          if (should_coarsen(t, tree.data() + i)) {
+            s.accept[i] = 1;
+          } else {
+            ++rejected;
+          }
         }
+      }
+      if (rejected > 0) {
+        c_rejected.add(rejected);
       }
     });
     // Chunk-parallel rebuild consuming accepted families. Chunk
@@ -1523,6 +1640,7 @@ class Forest {
     if (total_accepts == 0) {
       return false;  // nothing coarsened: keep the tree untouched
     }
+    c_accepted.add(total_accepts);
     const std::size_t out_n =
         n - total_accepts * static_cast<std::size_t>(nc - 1);
     std::vector<quad_t> out(out_n);
@@ -1720,6 +1838,8 @@ class Forest {
   /// loops — every worker folds toward the same fixpoint, so the result
   /// is order-independent.
   void build_mark_grid(std::size_t ti, MarkGrid& g) const {
+    static obs::Counter& c_builds = obs::counter("forest.markgrid.builds");
+    c_builds.add(1);
     const auto& tree = trees_[ti];
     const std::size_t n = tree.size();
     int lvl = 0;
@@ -2036,6 +2156,8 @@ class Forest {
   /// leaves replaces recomputing every other rank's ghost layer).
   [[nodiscard]] std::vector<gidx_t> adjacency_scan(gidx_t first, gidx_t last,
                                                    bool sources) const {
+    obs::TraceSpan span("forest", "adjacency_scan");
+    span.arg("range", static_cast<std::int64_t>(last - first));
     std::vector<gidx_t> seen = batch::enabled()
                                    ? adjacency_scan_batched(first, last,
                                                             sources)
@@ -2101,6 +2223,8 @@ class Forest {
     });
     const std::int64_t root = std::int64_t{1} << kCanonicalLevel;
     const std::size_t grain = chunk_grain();
+    static obs::Counter& c_local = obs::counter("forest.scan.local_keys");
+    static obs::Counter& c_merge = obs::counter("forest.scan.merge_keys");
     std::vector<std::vector<gidx_t>> tree_seen(nscan);
     std::vector<std::vector<GhostBucket>> buckets(nscan);
     parallel_over(nscan, [&, t0 = t0, t1 = t1, i0 = i0,
@@ -2119,6 +2243,8 @@ class Forest {
                       [&](std::size_t c, std::size_t cb, std::size_t ce) {
         auto& my_seen = chunk_seen[c];
         auto& my_buckets = chunk_buckets[c];
+        std::size_t local_keys = 0;
+        std::size_t merge_keys = 0;
         auto bucket_for = [&](tree_id_t target) -> std::vector<GhostKey>& {
           // Linear scan: a tree has at most 3^dim - 1 distinct targets.
           for (GhostBucket& bk : my_buckets) {
@@ -2178,6 +2304,7 @@ class Forest {
                                           static_cast<int>(l)};
               const gidx_t src_g = global_index(t, src[i]);
               if (target == t) {
+                ++local_keys;
                 resolve_touching_local(
                     ti, grid, nc, ref, [&](std::size_t leaf_idx) {
                       const gidx_t lg = global_index(t, leaf_idx);
@@ -2186,11 +2313,18 @@ class Forest {
                       }
                     });
               } else {
+                ++merge_keys;
                 bucket_for(target).push_back(
                     GhostKey{from_canonical<R>(nc), ref, src_g});
               }
             }
           });
+        }
+        if (local_keys > 0) {
+          c_local.add(local_keys);
+        }
+        if (merge_keys > 0) {
+          c_merge.add(merge_keys);
         }
       });
       auto& ts = tree_seen[k];

@@ -33,6 +33,8 @@
 
 #include "core/canonical.hpp"
 #include "forest/forest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "par/message_queue.hpp"
 #include "util/timer.hpp"
 
@@ -354,6 +356,15 @@ GhostExchangeResult exchange_ghost_payloads(
   group.run([&](par::RankCtx& ctx) {
     const int r = ctx.rank();
     const auto& entries = ghosts[static_cast<std::size_t>(r)].entries;
+    obs::TraceSpan exchange_span("io", "ghost.exchange");
+    exchange_span.arg("ranks", p);
+    exchange_span.arg("ghost_entries",
+                      static_cast<std::int64_t>(entries.size()));
+    static obs::Counter& c_rounds = obs::counter("io.exchange.rounds");
+    static obs::Counter& c_drain_ns = obs::counter("io.exchange.drain_wait_ns");
+    static obs::Histogram& h_req = obs::histogram("io.exchange.request_bytes");
+    static obs::Histogram& h_data = obs::histogram("io.exchange.data_bytes");
+    c_rounds.add(1);
     WallTimer timer;
     // Round 1: request lists per owner, in ghost-entry order (entries
     // are sorted by global index, so each owner's sublist is too — the
@@ -363,62 +374,101 @@ GhostExchangeResult exchange_ghost_payloads(
       assert(e.owner != r);
       need[static_cast<std::size_t>(e.owner)].push_back(e.global_index);
     }
-    for (int s = 0; s < p; ++s) {
-      if (s != r) {
-        io_detail::ByteWriter w;
-        const auto& idx = need[static_cast<std::size_t>(s)];
-        w.write_array(idx.data(), idx.size());
-        (void)ctx.isend(s, kTagGhostRequest, std::move(w).take());
+    {
+      obs::TraceSpan post_span("io", "ghost.post");
+      for (int s = 0; s < p; ++s) {
+        if (s != r) {
+          io_detail::ByteWriter w;
+          const auto& idx = need[static_cast<std::size_t>(s)];
+          w.write_array(idx.data(), idx.size());
+          std::vector<std::uint8_t> bytes = std::move(w).take();
+          h_req.record(bytes.size());
+          (void)ctx.isend(s, kTagGhostRequest, std::move(bytes));
+        }
       }
     }
-    // Round 2: serve the p-1 peer requests as they arrive.
-    for (int k = 0; k + 1 < p; ++k) {
-      par::Message m = ctx.recv(par::kAnySource, kTagGhostRequest);
-      io_detail::ByteReader rd(m.bytes);
-      const std::vector<gidx_t> wanted = rd.read_array<gidx_t>();
-      std::vector<std::uint64_t> vals;
-      vals.reserve(wanted.size());
-      for (const gidx_t g : wanted) {
-        const auto [t, i] = forest.locate(g);
-        vals.push_back(forest.tree_payloads(t)[i]);
+    // The in-flight window of this rank's exchange: from the last
+    // request posted until the last data block drained. Emitted as its
+    // own span so the overlap ablation is visible in the trace.
+    const std::int64_t inflight_start_ns =
+        obs::tracing_enabled() ? obs::trace_clock_ns() : 0;
+    std::int64_t inflight_end_ns = 0;
+    {
+      obs::TraceSpan serve_span("io", "ghost.serve");
+      // Round 2: serve the p-1 peer requests as they arrive.
+      for (int k = 0; k + 1 < p; ++k) {
+        par::Message m = ctx.recv(par::kAnySource, kTagGhostRequest);
+        io_detail::ByteReader rd(m.bytes);
+        const std::vector<gidx_t> wanted = rd.read_array<gidx_t>();
+        std::vector<std::uint64_t> vals;
+        vals.reserve(wanted.size());
+        for (const gidx_t g : wanted) {
+          const auto [t, i] = forest.locate(g);
+          vals.push_back(forest.tree_payloads(t)[i]);
+        }
+        io_detail::ByteWriter w;
+        w.write_array(wanted.data(), wanted.size());
+        w.write_array(vals.data(), vals.size());
+        std::vector<std::uint8_t> bytes = std::move(w).take();
+        h_data.record(bytes.size());
+        (void)ctx.isend(m.source, kTagGhostData, std::move(bytes));
       }
-      io_detail::ByteWriter w;
-      w.write_array(wanted.data(), wanted.size());
-      w.write_array(vals.data(), vals.size());
-      (void)ctx.isend(m.source, kTagGhostData, std::move(w).take());
     }
     // Receive the p-1 data blocks and scatter them into the flat ghost
     // buffer in entry order (per-owner cursors; indices echo back for
     // the alignment check).
     auto drain = [&] {
-      std::vector<std::vector<gidx_t>> got_idx(static_cast<std::size_t>(p));
-      std::vector<std::vector<std::uint64_t>> got(
-          static_cast<std::size_t>(p));
-      for (int k = 0; k + 1 < p; ++k) {
-        par::Message m = ctx.recv(par::kAnySource, kTagGhostData);
-        io_detail::ByteReader rd(m.bytes);
-        const auto s = static_cast<std::size_t>(m.source);
-        got_idx[s] = rd.read_array<gidx_t>();
-        got[s] = rd.read_array<std::uint64_t>();
+      WallTimer drain_timer;
+      {
+        obs::TraceSpan drain_span("io", "ghost.drain");
+        std::vector<std::vector<gidx_t>> got_idx(static_cast<std::size_t>(p));
+        std::vector<std::vector<std::uint64_t>> got(
+            static_cast<std::size_t>(p));
+        for (int k = 0; k + 1 < p; ++k) {
+          par::Message m = ctx.recv(par::kAnySource, kTagGhostData);
+          io_detail::ByteReader rd(m.bytes);
+          const auto s = static_cast<std::size_t>(m.source);
+          got_idx[s] = rd.read_array<gidx_t>();
+          got[s] = rd.read_array<std::uint64_t>();
+        }
+        auto& out = res.payloads[static_cast<std::size_t>(r)];
+        std::vector<std::size_t> cur(static_cast<std::size_t>(p), 0);
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+          const auto s = static_cast<std::size_t>(entries[e].owner);
+          assert(cur[s] < got[s].size() &&
+                 got_idx[s][cur[s]] == entries[e].global_index &&
+                 "ghost data block misaligned with ghost layer");
+          out[e] = got[s][cur[s]++];
+        }
       }
-      auto& out = res.payloads[static_cast<std::size_t>(r)];
-      std::vector<std::size_t> cur(static_cast<std::size_t>(p), 0);
-      for (std::size_t e = 0; e < entries.size(); ++e) {
-        const auto s = static_cast<std::size_t>(entries[e].owner);
-        assert(cur[s] < got[s].size() &&
-               got_idx[s][cur[s]] == entries[e].global_index &&
-               "ghost data block misaligned with ghost layer");
-        out[e] = got[s][cur[s]++];
+      inflight_end_ns = obs::tracing_enabled() ? obs::trace_clock_ns() : 0;
+      if (obs::metrics_enabled()) {
+        c_drain_ns.add(static_cast<std::uint64_t>(drain_timer.elapsed_ns()));
       }
     };
     if (opt.overlap) {
-      interior(r);
+      {
+        obs::TraceSpan interior_span("io", "ghost.interior");
+        interior_span.arg("overlap", 1);
+        interior(r);
+      }
       drain();
     } else {
       drain();
-      interior(r);
+      {
+        obs::TraceSpan interior_span("io", "ghost.interior");
+        interior_span.arg("overlap", 0);
+        interior(r);
+      }
     }
-    boundary(r, res.payloads[static_cast<std::size_t>(r)]);
+    if (obs::tracing_enabled() && inflight_end_ns > inflight_start_ns) {
+      obs::trace_complete("io", "ghost.inflight", inflight_start_ns,
+                          inflight_end_ns, "overlap", opt.overlap ? 1 : 0);
+    }
+    {
+      obs::TraceSpan boundary_span("io", "ghost.boundary");
+      boundary(r, res.payloads[static_cast<std::size_t>(r)]);
+    }
     res.rank_seconds[static_cast<std::size_t>(r)] = timer.elapsed_s();
   });
   return res;

@@ -1,0 +1,128 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Scoped trace spans with Chrome trace-event (Perfetto) export.
+///
+/// Always-compiled, runtime-gated tracing. A `TraceSpan` is an RAII scope
+/// marker: when tracing is off its constructor is one relaxed atomic load
+/// and a predictable branch; when on, entry stamps a steady-clock tick and
+/// exit appends one complete ("ph":"X") event to a thread-local lock-free
+/// buffer. Buffers are chunked append-only lists — the owning thread
+/// publishes each event with a release store of the chunk fill count, and
+/// the drain (`trace_json` / `write_trace_json`) reads them with acquire
+/// loads, so collection is safe while spans are still being emitted.
+///
+/// Events carry the simulated rank id as the Perfetto thread id when the
+/// emitting thread runs inside a RankGroup worker (see ThreadRankScope in
+/// util/log.hpp); other threads get stable synthetic ids >= 1000. The
+/// export is standard Chrome trace-event JSON — load it in Perfetto or
+/// chrome://tracing, or schema-check it with tools/validate_trace.py.
+///
+/// Gate: `QFOREST_TRACE=1` in the environment or `set_tracing(bool)`.
+/// Category/name/arg-key strings must be string literals (the buffer
+/// stores the pointers, not copies).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qforest::obs {
+
+namespace detail {
+
+/// Global tracing gate. Set at load time from QFOREST_TRACE (see
+/// trace.cpp) and at runtime via set_tracing().
+inline std::atomic<bool> g_tracing_enabled{false};
+
+}  // namespace detail
+
+/// True when span recording is on. One relaxed load.
+inline bool tracing_enabled() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turn span recording on or off. Already-buffered events are kept; use
+/// clear_trace() to drop them.
+void set_tracing(bool on);
+
+/// Nanoseconds on the steady clock since the process trace epoch.
+[[nodiscard]] std::int64_t trace_clock_ns();
+
+/// Append one complete event covering [start_ns, end_ns] directly (for
+/// windows that do not map to one lexical scope, e.g. the in-flight
+/// interval of an asynchronous exchange). No-op while tracing is off.
+/// All strings must be literals; pass nullptr keys to omit args.
+void trace_complete(const char* cat, const char* name, std::int64_t start_ns,
+                    std::int64_t end_ns, const char* k1 = nullptr,
+                    std::int64_t v1 = 0, const char* k2 = nullptr,
+                    std::int64_t v2 = 0);
+
+/// RAII scope span: construction stamps the start, destruction appends
+/// the complete event. Up to two integer args may be attached any time
+/// before destruction.
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name)
+      : cat_(cat), name_(name), armed_(tracing_enabled()) {
+    if (armed_) {
+      start_ns_ = trace_clock_ns();
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach an integer arg (max two; extra calls are dropped). \p key
+  /// must be a string literal.
+  void arg(const char* key, std::int64_t value) {
+    if (!armed_) {
+      return;
+    }
+    if (k1_ == nullptr) {
+      k1_ = key;
+      v1_ = value;
+    } else if (k2_ == nullptr) {
+      k2_ = key;
+      v2_ = value;
+    }
+  }
+
+  ~TraceSpan() {
+    if (armed_) {
+      trace_complete(cat_, name_, start_ns_, trace_clock_ns(), k1_, v1_, k2_,
+                     v2_);
+    }
+  }
+
+ private:
+  const char* cat_;
+  const char* name_;
+  const char* k1_ = nullptr;
+  const char* k2_ = nullptr;
+  std::int64_t v1_ = 0;
+  std::int64_t v2_ = 0;
+  std::int64_t start_ns_ = 0;
+  bool armed_;
+};
+
+/// Number of buffered events across all threads (drain-consistent).
+[[nodiscard]] std::size_t trace_event_count();
+
+/// Render every buffered event as Chrome trace-event JSON
+/// (`{"traceEvents":[...]}`), time-sorted, with thread-name metadata
+/// ("rank N" for rank workers, "thread N" otherwise).
+[[nodiscard]] std::string trace_json();
+
+/// Write trace_json() to \p path. Returns false (and logs) on I/O error.
+bool write_trace_json(const char* path);
+
+/// Write the trace to \p path if tracing is (or was) enabled and any
+/// events were recorded; returns true when a file was written. The
+/// convenience tail call for examples and benches.
+bool write_trace_if_enabled(const char* path);
+
+/// Drop all buffered events. Callers must ensure no span is concurrently
+/// being emitted (quiescence) — buffers are reset in place, not freed.
+void clear_trace();
+
+}  // namespace qforest::obs

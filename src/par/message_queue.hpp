@@ -46,6 +46,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
 namespace qforest::par {
 
 /// Wildcards accepted by the matching receives.
@@ -98,6 +101,15 @@ class Mailbox {
     node->ready = ready;
     Node* prev = head_.exchange(node, std::memory_order_acq_rel);
     prev->next.store(node, std::memory_order_release);
+    // Queue-depth tracking: the histogram max is the mailbox high-water
+    // mark. The depth counter itself stays on (one relaxed RMW next to
+    // the exchange above); the histogram is gated.
+    const std::int64_t depth = depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (obs::metrics_enabled() && depth >= 0) {
+      static obs::Histogram& h_depth =
+          obs::histogram("par.msg.mailbox_depth");
+      h_depth.record(static_cast<std::uint64_t>(depth));
+    }
     { std::lock_guard<std::mutex> lock(wake_mutex_); }
     wake_cv_.notify_one();
   }
@@ -154,11 +166,13 @@ class Mailbox {
     pending_ready_ = next->ready;
     tail_ = next;
     delete tail;
+    depth_.fetch_sub(1, std::memory_order_relaxed);
     return next;
   }
 
   std::atomic<Node*> head_;  ///< producers append here
   Node* tail_;               ///< consumer-owned: current stub node
+  std::atomic<std::int64_t> depth_{0};  ///< queued messages (metrics)
   clock::time_point pending_ready_ = clock::time_point::min();
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;
@@ -189,6 +203,10 @@ class RankGroup {
   /// Post a message into \p to's mailbox (safe from any thread).
   void post(int from, int to, int tag, std::vector<std::uint8_t> bytes) {
     assert(from >= 0 && from < size() && to >= 0 && to < size());
+    static obs::Counter& c_sends = obs::counter("par.msg.sends");
+    static obs::Counter& c_send_bytes = obs::counter("par.msg.send_bytes");
+    c_sends.add(1);
+    c_send_bytes.add(bytes.size());
     const std::int64_t d = delay_us_.load(std::memory_order_relaxed);
     const auto ready = d > 0 ? Mailbox::clock::now() +
                                    std::chrono::microseconds(d)
@@ -284,7 +302,7 @@ class RankCtx {
       if (all_done) {
         return;
       }
-      Message m = group_.mailbox(rank_).pop_blocking(group_.aborted());
+      Message m = pop_counted(true);
       bool matched = false;
       for (auto& r : requests) {
         if (!r.done && r.is_recv && matches(m, r.peer, r.tag)) {
@@ -307,7 +325,7 @@ class RankCtx {
       return m;
     }
     for (;;) {
-      m = group_.mailbox(rank_).pop_blocking(group_.aborted());
+      m = pop_counted(false);
       if (matches(m, from, tag)) {
         return m;
       }
@@ -391,10 +409,37 @@ class RankCtx {
         out = std::move(unexpected_[i]);
         unexpected_.erase(unexpected_.begin() +
                           static_cast<std::ptrdiff_t>(i));
+        static obs::Counter& c_hits = obs::counter("par.msg.unexpected_hits");
+        c_hits.add(1);
         return true;
       }
     }
     return false;
+  }
+
+  /// Mailbox pop with arrival-side metrics: every dequeued message counts
+  /// as one receive (matched or parked); \p in_wait_all additionally
+  /// charges the block time to par.msg.wait_block_ns.
+  Message pop_counted(bool in_wait_all) {
+    static obs::Counter& c_recvs = obs::counter("par.msg.recvs");
+    static obs::Counter& c_recv_bytes = obs::counter("par.msg.recv_bytes");
+    Message m;
+    if (obs::metrics_enabled()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      m = group_.mailbox(rank_).pop_blocking(group_.aborted());
+      if (in_wait_all) {
+        static obs::Counter& c_block = obs::counter("par.msg.wait_block_ns");
+        c_block.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+      }
+    } else {
+      m = group_.mailbox(rank_).pop_blocking(group_.aborted());
+    }
+    c_recvs.add(1);
+    c_recv_bytes.add(m.bytes.size());
+    return m;
   }
 
   int next_collective_tag() { return collective_tag_++; }
@@ -409,6 +454,7 @@ template <class Fn>
 void RankGroup::run(Fn&& fn) {
   const int p = size();
   if (p == 1) {
+    const ThreadRankScope rank_scope(0);
     RankCtx ctx(*this, 0);
     fn(ctx);
     return;
@@ -422,6 +468,7 @@ void RankGroup::run(Fn&& fn) {
     threads.emplace_back([this, &fn, &error_mutex, &first_error, &error_rank,
                           r] {
       try {
+        const ThreadRankScope rank_scope(r);
         RankCtx ctx(*this, r);
         fn(ctx);
       } catch (const RankAborted&) {

@@ -1,10 +1,12 @@
 #include "par/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <latch>
 #include <memory>
 
 #include "core/debug_check.hpp"
+#include "obs/metrics.hpp"
 
 namespace qforest::par {
 
@@ -159,6 +161,8 @@ bool ThreadPool::try_run_one() {
     task = std::move(queue_.front());
     queue_.pop();
   }
+  static obs::Counter& c_helped = obs::counter("par.pool.helped_tasks");
+  c_helped.add(1);
   run_accounted(task);
   return true;
 }
@@ -178,6 +182,8 @@ void ThreadPool::run_accounted(std::function<void()>& task) {
       }
     }
   } guard{this};
+  static obs::Counter& c_tasks = obs::counter("par.pool.tasks");
+  c_tasks.add(1);
   task();
 }
 
@@ -186,7 +192,17 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (obs::metrics_enabled() && queue_.empty() && !stop_) {
+        static obs::Counter& c_idle = obs::counter("par.pool.idle_wait_ns");
+        const auto wait_start = std::chrono::steady_clock::now();
+        cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        c_idle.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wait_start)
+                .count()));
+      } else {
+        cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      }
       if (queue_.empty()) {
         if (stop_) {
           return;

@@ -10,6 +10,7 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 std::atomic<std::FILE*> g_stream{nullptr};
 std::mutex g_mutex;
+thread_local int t_rank = -1;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -31,7 +32,11 @@ void vlog(LogLevel level, const char* fmt, std::va_list args) {
     stream = stderr;
   }
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stream, "[qforest %s] ", level_tag(level));
+  if (t_rank >= 0) {
+    std::fprintf(stream, "[qforest %s r%d] ", level_tag(level), t_rank);
+  } else {
+    std::fprintf(stream, "[qforest %s] ", level_tag(level));
+  }
   std::vfprintf(stream, fmt, args);
   std::fputc('\n', stream);
   std::fflush(stream);
@@ -49,6 +54,14 @@ LogLevel log_level() {
 
 void set_log_stream(std::FILE* stream) {
   g_stream.store(stream, std::memory_order_relaxed);
+}
+
+void set_thread_rank(int rank) {
+  t_rank = rank;
+}
+
+int thread_rank() {
+  return t_rank;
 }
 
 void log(LogLevel level, const char* fmt, ...) {

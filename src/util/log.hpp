@@ -46,4 +46,31 @@ void log_error(const char* fmt, ...);
 /// Redirect log output (default: stderr). Pass nullptr to restore stderr.
 void set_log_stream(std::FILE* stream);
 
+/// Bind the calling thread to a simulated rank id (or -1 for none). Log
+/// lines emitted while bound carry an `rN` tag so interleaved multi-rank
+/// output stays attributable, and trace events from the thread use the
+/// rank as their Perfetto thread id. Prefer ThreadRankScope over calling
+/// this directly.
+void set_thread_rank(int rank);
+
+/// The simulated rank the calling thread is bound to, or -1.
+[[nodiscard]] int thread_rank();
+
+/// RAII rank binding for the calling thread; restores the previous
+/// binding on destruction. The rank runtime (par::RankGroup) installs one
+/// around every worker body.
+class ThreadRankScope {
+ public:
+  explicit ThreadRankScope(int rank) : prev_(thread_rank()) {
+    set_thread_rank(rank);
+  }
+  ~ThreadRankScope() { set_thread_rank(prev_); }
+
+  ThreadRankScope(const ThreadRankScope&) = delete;
+  ThreadRankScope& operator=(const ThreadRankScope&) = delete;
+
+ private:
+  int prev_;
+};
+
 }  // namespace qforest

@@ -23,6 +23,10 @@ statics fixed in PR 5) and that clang-tidy has no check for:
                     exceptions; library threads must be joined (the rank
                     runtime in src/par/message_queue.hpp) or owned by the
                     pool.
+  system-clock      std::chrono::system_clock in library code — the wall
+                    clock jumps (NTP, DST) so intervals measured with it
+                    go negative; durations, trace timestamps and timeouts
+                    must use steady_clock.
 
 A finding is suppressed by a trailing `// lint-allow(<rule>): <reason>`
 comment on the same line; the reason is mandatory and the suppression is
@@ -40,10 +44,13 @@ import sys
 SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
 
 # Types whose static instances are allowed: internally synchronized,
-# immutable after construction, or confined to one thread.
+# immutable after construction, or confined to one thread. obs::Counter
+# and obs::Histogram are sharded atomics (src/obs/metrics.hpp), built to
+# be cached in function-local statics at every instrumentation site.
 ALLOWED_TYPE_RE = re.compile(
     r"std::atomic\b|std::mutex\b|std::shared_mutex\b|std::once_flag\b"
     r"|std::condition_variable\b|ThreadPool\b|std::latch\b|std::barrier\b"
+    r"|obs::Counter\b|obs::Histogram\b"
 )
 
 QUALIFIER_ALLOW_RE = re.compile(r"\b(constexpr|thread_local)\b")
@@ -63,6 +70,7 @@ DETACHED_THREAD_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
 VOLATILE_SYNC_RE = re.compile(
     r"\bvolatile\s+(?:std::)?(?:bool|int|unsigned|long|size_t|u?int\d+_t)\b"
 )
+SYSTEM_CLOCK_RE = re.compile(r"std::chrono::system_clock\b")
 
 
 def is_function_declaration(decl: str) -> bool:
@@ -92,6 +100,12 @@ def lint_line(line: str):
         yield ("volatile-sync",
                "volatile integral used where synchronization is needed; "
                "use std::atomic")
+
+    if SYSTEM_CLOCK_RE.search(code):
+        yield ("system-clock",
+               "std::chrono::system_clock — the wall clock is not "
+               "monotonic; use std::chrono::steady_clock for durations "
+               "and timestamps")
 
     m = STATIC_DECL_RE.match(code)
     if m:
