@@ -58,9 +58,12 @@ inline std::atomic<bool>& enabled_flag() {
   return flag;
 }
 inline bool enabled() {
+  // mo: relaxed — kernel-dispatch switch; both kernel bodies compute
+  // identical results, so no ordering is needed (see flag doc above).
   return enabled_flag().load(std::memory_order_relaxed);
 }
 inline void set_enabled(bool on) {
+  // mo: relaxed — kernel-dispatch switch; see enabled().
   enabled_flag().store(on, std::memory_order_relaxed);
 }
 

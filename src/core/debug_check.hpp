@@ -93,6 +93,7 @@ inline bool abort_on_violation() {
 
 /// Number of violations of one kind recorded since the last reset.
 inline std::uint64_t violations(Check c) {
+  // mo: relaxed — statistics read; tests assert after regions joined.
   return detail::counter(c).load(std::memory_order_relaxed);
 }
 
@@ -108,6 +109,8 @@ inline std::uint64_t total_violations() {
 /// Zero every per-kind counter (a test that seeds a violation consumes it
 /// here so the suite-level silence assertion stays meaningful).
 inline void reset_violations() {
+  // mo: relaxed — statistics reset between tests; callers ensure
+  // checker quiescence.
   for (int i = 0; i < static_cast<int>(Check::kCount); ++i) {
     detail::counter(static_cast<Check>(i)).store(0, std::memory_order_relaxed);
   }
@@ -128,6 +131,7 @@ inline std::string violation_summary() {
 /// Record one violation: bump the kind's counter, log at error level, and
 /// abort when QFOREST_DEBUG_ABORT is set.
 inline void report_violation(Check c, const char* what) {
+  // mo: relaxed — violation tally; only atomicity matters.
   detail::counter(c).fetch_add(1, std::memory_order_relaxed);
   log_error("debug-check violation [%s]: %s", check_name(c), what);
   if (detail::abort_on_violation()) {
@@ -149,9 +153,15 @@ class ConcurrencyDetector {
   class Scope {
    public:
     explicit Scope(ConcurrencyDetector& d) : d_(&d) {
+      // mo: relaxed — invocation tally; only atomicity matters.
       d_->entries_.fetch_add(1, std::memory_order_relaxed);
+      // mo: acq_rel — the in-flight count is the overlap proof: the RMW
+      // must order against other Scopes' increments/decrements so a
+      // nonzero previous value really means a concurrently open Scope.
       if (d_->in_flight_.fetch_add(1, std::memory_order_acq_rel) > 0) {
+        // mo: relaxed — overlap tally; only atomicity matters.
         d_->concurrent_.fetch_add(1, std::memory_order_relaxed);
+        // mo: relaxed — contract flag set before the region starts.
         if (d_->expect_serial_.load(std::memory_order_relaxed)) {
           report_violation(Check::kCallbackConcurrency,
                            "user callback entered concurrently while "
@@ -161,6 +171,7 @@ class ConcurrencyDetector {
         }
       }
     }
+    // mo: acq_rel — pairs with the ctor's RMW; see above.
     ~Scope() { d_->in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
@@ -172,21 +183,25 @@ class ConcurrencyDetector {
   /// Declare that the callbacks about to run are NOT thread-safe: any
   /// concurrent entry observed while this is set is a contract violation.
   void expect_serial(bool on) {
+    // mo: relaxed — contract flag toggled outside parallel regions.
     expect_serial_.store(on, std::memory_order_relaxed);
   }
 
   /// True when any two callback invocations have overlapped in time
   /// since the last reset().
   [[nodiscard]] bool concurrency_observed() const {
+    // mo: relaxed — statistics read after the region joined.
     return concurrent_.load(std::memory_order_relaxed) > 0;
   }
 
   /// Total callback invocations since the last reset().
   [[nodiscard]] std::uint64_t entries() const {
+    // mo: relaxed — statistics read after the region joined.
     return entries_.load(std::memory_order_relaxed);
   }
 
   void reset() {
+    // mo: relaxed — statistics reset; callers ensure quiescence.
     entries_.store(0, std::memory_order_relaxed);
     concurrent_.store(0, std::memory_order_relaxed);
     expect_serial_.store(false, std::memory_order_relaxed);
@@ -243,16 +258,22 @@ class ChunkCoverage {
       return;
     }
     const std::size_t chunk = begin / grain_;
+    // mo: acq_rel — the exchange is the exactly-once claim: it must
+    // order against a racing claim of the same chunk so exactly one
+    // caller sees 0.
     if (claimed_[chunk].exchange(1, std::memory_order_acq_rel) != 0) {
       report_violation(Check::kChunkOverlap,
                        "parallel_for_grain chunk executed more than once "
                        "(overlapping block writes)");
       return;
     }
+    // mo: relaxed — coverage tally; finish() runs after the latch.
     covered_.fetch_add(end - begin, std::memory_order_relaxed);
   }
 
   void finish() const {
+    // mo: relaxed — the call's latch closed before finish(); the latch
+    // orders the claims.
     if (covered_.load(std::memory_order_relaxed) != n_) {
       report_violation(Check::kChunkCoverage,
                        "parallel_for_grain blocks did not cover [0, n) "

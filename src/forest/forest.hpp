@@ -49,7 +49,6 @@
 #include <cstdlib>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <type_traits>
@@ -68,6 +67,7 @@
 #include "par/communicator.hpp"
 #include "par/thread_pool.hpp"
 #include "util/log.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace qforest {
 
@@ -168,7 +168,7 @@ inline std::atomic<std::size_t>& chunk_grain_value() {
 class RegionErrors {
  public:
   void capture(std::size_t begin_index) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     if (!error_ || begin_index < error_begin_) {
       if (error_) {
         ++suppressed_;
@@ -181,23 +181,34 @@ class RegionErrors {
   }
 
   void rethrow_if_any() {
-    if (!error_) {
+    // Copied out under the lock, logged and rethrown outside it: the
+    // region's workers are done by now, but keeping the guarded fields
+    // lock-accessed everywhere is what lets the compiler prove it — and
+    // log_error takes the log mutex, which must not nest under this one.
+    std::exception_ptr error;
+    std::size_t suppressed = 0;
+    {
+      const LockGuard lock(mutex_);
+      error = error_;
+      suppressed = suppressed_;
+    }
+    if (!error) {
       return;
     }
-    if (suppressed_ > 0) {
+    if (suppressed > 0) {
       log_error(
           "forest parallel region: %zu additional worker exception(s) "
           "suppressed; rethrowing the lowest-index chunk's",
-          suppressed_);
+          suppressed);
     }
-    std::rethrow_exception(error_);
+    std::rethrow_exception(error);
   }
 
  private:
-  std::mutex mutex_;
-  std::exception_ptr error_;
-  std::size_t error_begin_ = 0;
-  std::size_t suppressed_ = 0;
+  Mutex mutex_;
+  std::exception_ptr error_ QF_GUARDED_BY(mutex_);
+  std::size_t error_begin_ QF_GUARDED_BY(mutex_) = 0;
+  std::size_t suppressed_ QF_GUARDED_BY(mutex_) = 0;
 };
 }  // namespace detail
 
@@ -207,9 +218,11 @@ class RegionErrors {
 /// synchronization. Disabling turns off BOTH scheduling levels — the
 /// per-tree loops and the intra-tree chunk loops.
 inline void set_tree_parallelism(bool on) {
+  // mo: relaxed — independent on/off switch; readers only branch on it.
   detail::tree_parallel_flag().store(on, std::memory_order_relaxed);
 }
 inline bool tree_parallelism() {
+  // mo: relaxed — independent on/off switch; readers only branch on it.
   return detail::tree_parallel_flag().load(std::memory_order_relaxed);
 }
 
@@ -219,9 +232,11 @@ inline bool tree_parallelism() {
 /// that tolerate tree-level but not chunk-level concurrency and for the
 /// bench_intra_tree ablation. Also off via QFOREST_SERIAL_CHUNKS.
 inline void set_intra_tree_parallelism(bool on) {
+  // mo: relaxed — independent on/off switch; readers only branch on it.
   detail::intra_tree_flag().store(on, std::memory_order_relaxed);
 }
 inline bool intra_tree_parallelism() {
+  // mo: relaxed — independent on/off switch; readers only branch on it.
   return detail::intra_tree_flag().load(std::memory_order_relaxed);
 }
 
@@ -229,11 +244,13 @@ inline bool intra_tree_parallelism() {
 /// tiny grains to exercise chunk-boundary handling; QFOREST_CHUNK_GRAIN
 /// sets the initial value.
 inline void set_chunk_grain(std::size_t grain) {
+  // mo: relaxed — scheduling hint; any grain value is correct.
   detail::chunk_grain_value().store(
       grain == 0 ? detail::kDefaultChunkGrain : grain,
       std::memory_order_relaxed);
 }
 inline std::size_t chunk_grain() {
+  // mo: relaxed — scheduling hint; any grain value is correct.
   return detail::chunk_grain_value().load(std::memory_order_relaxed);
 }
 
@@ -1147,9 +1164,12 @@ class Forest {
         }
       }
       if (local) {
+        // mo: relaxed — one-way flag folded after the parallel region;
+        // the region join orders it before the load below.
         any.store(true, std::memory_order_relaxed);
       }
     });
+    // mo: relaxed — read after the region join; no concurrent writers.
     if (!any.load(std::memory_order_relaxed)) {
       return;
     }
@@ -1872,6 +1892,8 @@ class Forest {
 
   static void atomic_fold_min(std::size_t& slot, std::size_t v) {
     const std::atomic_ref<std::size_t> a(slot);
+    // mo: relaxed — commutative min fold; the grid is read only after
+    // the building parallel region joins.
     std::size_t cur = a.load(std::memory_order_relaxed);
     while (v < cur &&
            !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
@@ -1880,6 +1902,8 @@ class Forest {
 
   static void atomic_fold_max(std::size_t& slot, std::size_t v) {
     const std::atomic_ref<std::size_t> a(slot);
+    // mo: relaxed — commutative max fold; the grid is read only after
+    // the building parallel region joins.
     std::size_t cur = a.load(std::memory_order_relaxed);
     while (v > cur &&
            !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
@@ -2045,6 +2069,8 @@ class Forest {
       return;
     }
     if (R::level(trees_[ti][*enclosing]) < nc.level - 1) {
+      // mo: relaxed — idempotent mark byte; readers run after the
+      // marking region joins.
       std::atomic_ref<std::uint8_t>(split[*enclosing])
           .store(1, std::memory_order_relaxed);
     }
@@ -2086,6 +2112,8 @@ class Forest {
         const quad_t& leaf = tree[static_cast<std::size_t>(j)];
         if (R::level(leaf) < R::level(key) - 1 &&
             (R::equal(leaf, key) || R::is_ancestor(leaf, key))) {
+          // mo: relaxed — idempotent mark byte; readers run after the
+          // marking region joins.
           std::atomic_ref<std::uint8_t>(split[static_cast<std::size_t>(j)])
               .store(1, std::memory_order_relaxed);
         }

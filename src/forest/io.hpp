@@ -302,6 +302,7 @@ struct GhostExchangeOptions {
   std::chrono::microseconds delivery_delay{0};
 
   [[nodiscard]] static bool overlap_default() {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once before threads start
     return std::getenv("QFOREST_NO_OVERLAP") == nullptr;
   }
 };

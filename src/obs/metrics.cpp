@@ -4,9 +4,9 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "util/table.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace qforest::obs {
 namespace {
@@ -15,9 +15,14 @@ namespace {
 /// a stable address while the map rehashes/rebalances; the mutex guards
 /// registration only — recording goes straight to the atomic shards.
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, std::unique_ptr<Counter>> counters;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  /// Guards registration only — recording goes straight to the atomic
+  /// shards. Top tier of the lock hierarchy (pool < mailbox <
+  /// registry): nothing may be acquired while this is held.
+  Mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      QF_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      QF_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -28,8 +33,9 @@ Registry& registry() {
 /// Load-time gate init: QFOREST_METRICS=<non-empty, non-"0"> enables
 /// metric recording from the first instruction of main().
 const bool g_env_init = [] {
-  const char* e = std::getenv("QFOREST_METRICS");
+  const char* e = std::getenv("QFOREST_METRICS");  // NOLINT(concurrency-mt-unsafe)
   if (e != nullptr && e[0] != '\0' && !(e[0] == '0' && e[1] == '\0')) {
+    // mo: relaxed — gate flag set before main(); readers only branch.
     detail::g_metrics_enabled.store(true, std::memory_order_relaxed);
   }
   return true;
@@ -50,6 +56,7 @@ namespace detail {
 
 std::uint32_t metric_thread_slot() {
   static std::atomic<std::uint32_t> next{0};
+  // mo: relaxed — unique-slot allocation; only atomicity is needed.
   thread_local const std::uint32_t slot =
       next.fetch_add(1, std::memory_order_relaxed);
   return slot;
@@ -58,12 +65,15 @@ std::uint32_t metric_thread_slot() {
 }  // namespace detail
 
 void set_metrics(bool on) {
+  // mo: relaxed — gate flag; readers only branch on it.
   detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
 }
 
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot out;
   std::uint64_t min_seen = ~std::uint64_t{0};
+  // mo: relaxed (all shard reads) — statistics merge; exact once
+  // writers are quiescent, approximate while they race — by design.
   for (const Shard& s : shards_) {
     out.count += s.count.load(std::memory_order_relaxed);
     out.sum += s.sum.load(std::memory_order_relaxed);
@@ -78,6 +88,8 @@ HistogramSnapshot Histogram::snapshot() const {
 }
 
 void Histogram::reset() {
+  // mo: relaxed (all shard writes) — statistics reset; callers ensure
+  // writer quiescence when an exact zero matters.
   for (Shard& s : shards_) {
     s.count.store(0, std::memory_order_relaxed);
     s.sum.store(0, std::memory_order_relaxed);
@@ -91,7 +103,7 @@ void Histogram::reset() {
 
 Counter& counter(const char* name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  const LockGuard lock(r.mutex);
   auto& slot = r.counters[name];
   if (!slot) {
     slot = std::make_unique<Counter>();
@@ -101,7 +113,7 @@ Counter& counter(const char* name) {
 
 Histogram& histogram(const char* name) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  const LockGuard lock(r.mutex);
   auto& slot = r.histograms[name];
   if (!slot) {
     slot = std::make_unique<Histogram>();
@@ -112,7 +124,7 @@ Histogram& histogram(const char* name) {
 MetricsSnapshot metrics_snapshot() {
   MetricsSnapshot snap;
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  const LockGuard lock(r.mutex);
   snap.counters.reserve(r.counters.size());
   for (const auto& [name, c] : r.counters) {
     snap.counters.push_back({name, c->value()});
@@ -213,7 +225,7 @@ std::string metrics_summary() {
 
 void reset_metrics() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  const LockGuard lock(r.mutex);
   for (auto& [name, c] : r.counters) {
     c->reset();
   }

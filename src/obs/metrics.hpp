@@ -47,6 +47,8 @@ std::uint32_t metric_thread_slot();
 /// True when metric recording is on. One relaxed load; safe to call from
 /// any thread at any time.
 inline bool metrics_enabled() {
+  // mo: relaxed — gate flag; callers only branch, no data is published
+  // through it.
   return detail::g_metrics_enabled.load(std::memory_order_relaxed);
 }
 
@@ -65,6 +67,7 @@ class Counter {
     if (!metrics_enabled()) {
       return;
     }
+    // mo: relaxed — sharded statistic; merged only at snapshot time.
     shards_[detail::metric_thread_slot() % kShards].value.fetch_add(
         n, std::memory_order_relaxed);
   }
@@ -72,6 +75,7 @@ class Counter {
   /// Sum over all shards (relaxed; exact once writers are quiescent).
   [[nodiscard]] std::uint64_t value() const {
     std::uint64_t total = 0;
+    // mo: relaxed — statistics merge; exact once writers are quiescent.
     for (const Cell& c : shards_) {
       total += c.value.load(std::memory_order_relaxed);
     }
@@ -80,6 +84,7 @@ class Counter {
 
   /// Zero every shard.
   void reset() {
+    // mo: relaxed — statistics reset; callers ensure writer quiescence.
     for (Cell& c : shards_) {
       c.value.store(0, std::memory_order_relaxed);
     }
@@ -122,6 +127,7 @@ class Histogram {
       return;
     }
     Shard& s = shards_[detail::metric_thread_slot() % kShards];
+    // mo: relaxed — sharded statistics; merged only at snapshot time.
     s.count.fetch_add(1, std::memory_order_relaxed);
     s.sum.fetch_add(v, std::memory_order_relaxed);
     s.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
@@ -162,6 +168,8 @@ class Histogram {
     std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
   };
 
+  // mo: relaxed (fold_min/fold_max) — monotone min/max fold via CAS;
+  // the loop re-reads on failure, so no ordering is required.
   static void fold_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
     std::uint64_t cur = slot.load(std::memory_order_relaxed);
     while (v < cur &&
@@ -169,6 +177,7 @@ class Histogram {
     }
   }
   static void fold_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    // mo: relaxed — monotone max fold; see fold_min.
     std::uint64_t cur = slot.load(std::memory_order_relaxed);
     while (v > cur &&
            !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {

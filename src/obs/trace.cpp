@@ -6,10 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "util/log.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace qforest::obs {
 namespace {
@@ -46,9 +46,13 @@ struct ThreadBuffer {
 };
 
 struct TraceRegistry {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
-  std::vector<ThreadBuffer*> free_list;
+  /// Guards buffer registration/recycling only — event emission goes to
+  /// the owning thread's buffer through the atomic chunk fields. Top
+  /// tier of the lock hierarchy (pool < mailbox < registry): nothing
+  /// may be acquired while this is held.
+  Mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers QF_GUARDED_BY(mutex);
+  std::vector<ThreadBuffer*> free_list QF_GUARDED_BY(mutex);
   std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
 };
@@ -61,8 +65,9 @@ TraceRegistry& registry() {
 /// Load-time gate init: QFOREST_TRACE=<non-empty, non-"0"> enables span
 /// recording from the first instruction of main().
 const bool g_env_init = [] {
-  const char* e = std::getenv("QFOREST_TRACE");
+  const char* e = std::getenv("QFOREST_TRACE");  // NOLINT(concurrency-mt-unsafe)
   if (e != nullptr && e[0] != '\0' && !(e[0] == '0' && e[1] == '\0')) {
+    // mo: relaxed — gate flag set before main(); readers only branch.
     detail::g_tracing_enabled.store(true, std::memory_order_relaxed);
   }
   return true;
@@ -72,6 +77,7 @@ const bool g_env_init = [] {
 /// workers use their rank id directly, so synthetic ids start high.
 std::uint32_t synthetic_tid() {
   static std::atomic<std::uint32_t> next{1000};
+  // mo: relaxed — unique-id allocation; only atomicity is needed.
   thread_local const std::uint32_t tid =
       next.fetch_add(1, std::memory_order_relaxed);
   return tid;
@@ -87,7 +93,7 @@ std::uint32_t current_tid() {
 /// after them) or registers a fresh one.
 ThreadBuffer* acquire_buffer() {
   TraceRegistry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   if (!reg.free_list.empty()) {
     ThreadBuffer* b = reg.free_list.back();
     reg.free_list.pop_back();
@@ -105,7 +111,7 @@ struct BufferHandle {
   ~BufferHandle() {
     if (buf != nullptr) {
       TraceRegistry& reg = registry();
-      std::lock_guard<std::mutex> lock(reg.mutex);
+      const LockGuard lock(reg.mutex);
       reg.free_list.push_back(buf);
     }
   }
@@ -122,26 +128,36 @@ ThreadBuffer& local_buffer() {
 void append_event(const Event& e) {
   ThreadBuffer& buf = local_buffer();
   Chunk* c = buf.cur;
+  // mo: relaxed — used/next are written only by this owning thread; its
+  // own writes are always visible to itself.
   std::size_t i = c->used.load(std::memory_order_relaxed);
   while (i == Chunk::kCapacity) {
+    // mo: relaxed — owner-only read; see above.
     Chunk* n = c->next.load(std::memory_order_relaxed);
     if (n == nullptr) {
       n = new Chunk;
+      // mo: release — publishes the zero-initialized chunk to draining
+      // readers' acquire loads.
       c->next.store(n, std::memory_order_release);
     }
     buf.cur = n;
     c = n;
+    // mo: relaxed — owner-only read; see above.
     i = c->used.load(std::memory_order_relaxed);
   }
   c->events[i] = e;
+  // mo: release — publishes events[i] to the drain's acquire load of
+  // used; no event is read while being written.
   c->used.store(i + 1, std::memory_order_release);
 }
 
 std::vector<Event> collect_events() {
   TraceRegistry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   std::vector<Event> out;
   for (const auto& buf : reg.buffers) {
+    // mo: acquire (next, used) — pairs with the owner's release stores;
+    // the published prefix of each chunk is fully written before reading.
     for (const Chunk* c = &buf->head; c != nullptr;
          c = c->next.load(std::memory_order_acquire)) {
       const std::size_t used = c->used.load(std::memory_order_acquire);
@@ -177,6 +193,7 @@ void append_args_json(std::string& out, const Event& e) {
 }  // namespace
 
 void set_tracing(bool on) {
+  // mo: relaxed — gate flag; readers only branch on it.
   detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
 }
 
@@ -300,8 +317,11 @@ bool write_trace_if_enabled(const char* path) {
 
 void clear_trace() {
   TraceRegistry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  const LockGuard lock(reg.mutex);
   for (const auto& buf : reg.buffers) {
+    // mo: acquire/release — clear walks the published chain and resets
+    // each fill count with the same publish protocol the drains use
+    // (callers guarantee emitter quiescence).
     for (Chunk* c = &buf->head; c != nullptr;
          c = c->next.load(std::memory_order_acquire)) {
       c->used.store(0, std::memory_order_release);

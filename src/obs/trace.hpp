@@ -38,6 +38,8 @@ inline std::atomic<bool> g_tracing_enabled{false};
 
 /// True when span recording is on. One relaxed load.
 inline bool tracing_enabled() {
+  // mo: relaxed — gate flag; callers only branch, no data is published
+  // through it.
   return detail::g_tracing_enabled.load(std::memory_order_relaxed);
 }
 

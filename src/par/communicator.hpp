@@ -70,12 +70,14 @@ class Communicator {
       if (gathered.size() != values.size() ||
           std::memcmp(gathered.data(), values.data(),
                       values.size() * sizeof(T)) != 0) {
+        // mo: relaxed — error tally; read only after run_ranks joined.
         mismatches.fetch_add(1, std::memory_order_relaxed);
       }
       if (ctx.rank() == 0) {
         out = gathered;
       }
     });
+    // mo: relaxed — writers joined in run_ranks; the join orders them.
     assert(mismatches.load(std::memory_order_relaxed) == 0 &&
            "allgather: ranks disagree");
     (void)mismatches;

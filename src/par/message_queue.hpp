@@ -35,11 +35,9 @@
 #include <atomic>
 #include <cassert>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <cstring>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
@@ -48,6 +46,7 @@
 
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace qforest::par {
 
@@ -78,6 +77,8 @@ class Mailbox {
  public:
   using clock = std::chrono::steady_clock;
 
+  // mo: relaxed — single-threaded construction; no other thread can see
+  // the mailbox before the constructor returns.
   Mailbox() : head_(new Node), tail_(head_.load(std::memory_order_relaxed)) {}
 
   Mailbox(const Mailbox&) = delete;
@@ -86,6 +87,8 @@ class Mailbox {
   ~Mailbox() {
     Node* n = tail_;
     while (n != nullptr) {
+      // mo: relaxed — destruction requires producer quiescence (RankGroup
+      // joins every worker first), so there is nothing to synchronize with.
       Node* next = n->next.load(std::memory_order_relaxed);
       delete n;
       n = next;
@@ -99,18 +102,23 @@ class Mailbox {
     Node* node = new Node;
     node->msg = std::move(m);
     node->ready = ready;
+    // mo: acq_rel — the exchange serializes concurrent producers on the
+    // list head (each must see the true previous node to link after).
     Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    // mo: release — publishes the fully written node (msg, ready) to the
+    // consumer's acquire load in advance().
     prev->next.store(node, std::memory_order_release);
     // Queue-depth tracking: the histogram max is the mailbox high-water
     // mark. The depth counter itself stays on (one relaxed RMW next to
     // the exchange above); the histogram is gated.
+    // mo: relaxed — metrics-only depth estimate; carries no payload.
     const std::int64_t depth = depth_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (obs::metrics_enabled() && depth >= 0) {
       static obs::Histogram& h_depth =
           obs::histogram("par.msg.mailbox_depth");
       h_depth.record(static_cast<std::uint64_t>(depth));
     }
-    { std::lock_guard<std::mutex> lock(wake_mutex_); }
+    { const LockGuard lock(wake_mutex_); }
     wake_cv_.notify_one();
   }
 
@@ -125,8 +133,10 @@ class Mailbox {
   Message pop_blocking(const std::atomic<bool>& aborted) {
     Message m;
     if (!try_pop(m)) {
-      std::unique_lock<std::mutex> lock(wake_mutex_);
+      UniqueLock lock(wake_mutex_);
       while (!try_pop(m)) {
+        // mo: acquire — pairs with the release store in abort_all so the
+        // unblocked consumer sees the group state that caused the abort.
         if (aborted.load(std::memory_order_acquire)) {
           throw RankAborted();
         }
@@ -142,7 +152,7 @@ class Mailbox {
 
   /// Wake a consumer blocked in pop_blocking (used by the group abort).
   void interrupt() {
-    { std::lock_guard<std::mutex> lock(wake_mutex_); }
+    { const LockGuard lock(wake_mutex_); }
     wake_cv_.notify_all();
   }
 
@@ -158,6 +168,8 @@ class Mailbox {
   /// consumed) or nullptr when empty / a producer is mid-push.
   Node* advance(Message& out) {
     Node* tail = tail_;
+    // mo: acquire — pairs with the producer's release store of next; the
+    // dequeued node's payload writes become visible before it is read.
     Node* next = tail->next.load(std::memory_order_acquire);
     if (next == nullptr) {
       return nullptr;
@@ -166,6 +178,7 @@ class Mailbox {
     pending_ready_ = next->ready;
     tail_ = next;
     delete tail;
+    // mo: relaxed — metrics-only depth estimate; carries no payload.
     depth_.fetch_sub(1, std::memory_order_relaxed);
     return next;
   }
@@ -174,8 +187,13 @@ class Mailbox {
   Node* tail_;               ///< consumer-owned: current stub node
   std::atomic<std::int64_t> depth_{0};  ///< queued messages (metrics)
   clock::time_point pending_ready_ = clock::time_point::min();
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
+  /// Sleep/wake handshake only — the queue itself is lock-free, so no
+  /// field is guarded by it; middle tier of the lock hierarchy (pool <
+  /// mailbox < registry). Producers take it empty-scoped before
+  /// notifying so a consumer between its last emptiness check and its
+  /// wait cannot miss the wakeup.
+  Mutex wake_mutex_;
+  CondVar wake_cv_;
 };
 
 class RankCtx;
@@ -197,6 +215,7 @@ class RankGroup {
   /// Simulated interconnect latency added to every message posted after
   /// the call: a message becomes receivable \p delay after its isend.
   void set_delivery_delay(std::chrono::microseconds delay) {
+    // mo: relaxed — tuning knob; a racing isend may use either delay.
     delay_us_.store(delay.count(), std::memory_order_relaxed);
   }
 
@@ -207,6 +226,7 @@ class RankGroup {
     static obs::Counter& c_send_bytes = obs::counter("par.msg.send_bytes");
     c_sends.add(1);
     c_send_bytes.add(bytes.size());
+    // mo: relaxed — tuning knob; a racing isend may use either delay.
     const std::int64_t d = delay_us_.load(std::memory_order_relaxed);
     const auto ready = d > 0 ? Mailbox::clock::now() +
                                    std::chrono::microseconds(d)
@@ -224,6 +244,8 @@ class RankGroup {
   /// Unblock every rank after a worker failure; their pending blocking
   /// receives throw RankAborted.
   void abort_all() {
+    // mo: release — pairs with the acquire load in pop_blocking; the
+    // failing rank's writes are visible to every unblocked consumer.
     aborted_.store(true, std::memory_order_release);
     for (auto& box : boxes_) {
       box.interrupt();
@@ -459,7 +481,7 @@ void RankGroup::run(Fn&& fn) {
     fn(ctx);
     return;
   }
-  std::mutex error_mutex;
+  Mutex error_mutex;
   std::exception_ptr first_error;
   int error_rank = p;  // lowest failing rank wins, aborts rank at worst
   std::vector<std::thread> threads;
@@ -476,7 +498,7 @@ void RankGroup::run(Fn&& fn) {
         // another rank already threw; keep the original exception.
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(error_mutex);
+          const LockGuard lock(error_mutex);
           if (r < error_rank) {
             error_rank = r;
             first_error = std::current_exception();

@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -33,7 +33,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
@@ -41,8 +41,10 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  UniqueLock lock(mutex_);
+  while (in_flight_ != 0) {
+    cv_idle_.wait(lock);
+  }
 }
 
 void ThreadPool::parallel_for(
@@ -74,9 +76,9 @@ void ThreadPool::parallel_for_grain(
   // (the helping wait runs blocks of other callers).
   struct CallState {
     std::latch latch;
-    std::mutex mutex;
-    std::exception_ptr error;
-    std::size_t error_begin = 0;
+    Mutex mutex;
+    std::exception_ptr error QF_GUARDED_BY(mutex);
+    std::size_t error_begin QF_GUARDED_BY(mutex) = 0;
 #if QFOREST_DEBUG_CHECKS_ENABLED
     debug::ChunkCoverage coverage;
     CallState(std::ptrdiff_t t, std::size_t n, std::size_t grain)
@@ -105,7 +107,7 @@ void ThreadPool::parallel_for_grain(
       } catch (...) {
         // Deterministic winner: the lowest-index block's exception is the
         // one rethrown to the owning waiter; later ones are dropped.
-        const std::lock_guard<std::mutex> lock(state->mutex);
+        const LockGuard lock(state->mutex);
         if (!state->error || begin < state->error_begin) {
           state->error = std::current_exception();
           state->error_begin = begin;
@@ -143,23 +145,38 @@ void ThreadPool::parallel_for_grain(
   // All blocks have finished (latch closed): the geometry must add up.
   state->coverage.finish();
 #endif
-  if (state->error) {
-    std::rethrow_exception(state->error);
+  // All blocks counted the latch down, so no writer remains — but the
+  // error slot is guarded, and an uncontended lock here is cheaper than
+  // an analysis exemption.
+  std::exception_ptr block_error;
+  {
+    const LockGuard lock(state->mutex);
+    block_error = state->error;
+  }
+  if (block_error) {
+    std::rethrow_exception(block_error);
   }
   if (helped_error) {
     std::rethrow_exception(helped_error);
   }
 }
 
+bool ThreadPool::pop_task_locked(std::function<void()>& out) {
+  if (queue_.empty()) {
+    return false;
+  }
+  out = std::move(queue_.front());
+  queue_.pop();
+  return true;
+}
+
 bool ThreadPool::try_run_one() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (queue_.empty()) {
+    const LockGuard lock(mutex_);
+    if (!pop_task_locked(task)) {
       return false;
     }
-    task = std::move(queue_.front());
-    queue_.pop();
   }
   static obs::Counter& c_helped = obs::counter("par.pool.helped_tasks");
   c_helped.add(1);
@@ -175,7 +192,7 @@ void ThreadPool::run_accounted(std::function<void()>& task) {
   struct Account {
     ThreadPool* pool;
     ~Account() {
-      const std::lock_guard<std::mutex> lock(pool->mutex_);
+      const LockGuard lock(pool->mutex_);
       --pool->in_flight_;
       if (pool->in_flight_ == 0) {
         pool->cv_idle_.notify_all();
@@ -188,20 +205,28 @@ void ThreadPool::run_accounted(std::function<void()>& task) {
 }
 
 void ThreadPool::worker_loop() {
+  // Looked up before any lock acquisition: registering a metric takes
+  // the obs registry lock, and the first worker to block used to take it
+  // under mutex_ (a pool -> registry nesting qf_check's lock-order graph
+  // would carry forever for one cold-path static init).
+  static obs::Counter& c_idle = obs::counter("par.pool.idle_wait_ns");
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      UniqueLock lock(mutex_);
       if (obs::metrics_enabled() && queue_.empty() && !stop_) {
-        static obs::Counter& c_idle = obs::counter("par.pool.idle_wait_ns");
         const auto wait_start = std::chrono::steady_clock::now();
-        cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        while (!stop_ && queue_.empty()) {
+          cv_task_.wait(lock);
+        }
         c_idle.add(static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - wait_start)
                 .count()));
       } else {
-        cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        while (!stop_ && queue_.empty()) {
+          cv_task_.wait(lock);
+        }
       }
       if (queue_.empty()) {
         if (stop_) {
@@ -209,8 +234,7 @@ void ThreadPool::worker_loop() {
         }
         continue;
       }
-      task = std::move(queue_.front());
-      queue_.pop();
+      (void)pop_task_locked(task);
     }
     run_accounted(task);
   }

@@ -7,13 +7,13 @@
 /// serial per-task timing (see strong_scaling.hpp) so results do not depend
 /// on the container's core count.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace qforest::par {
 
@@ -70,13 +70,21 @@ class ThreadPool {
   /// worker_loop and try_run_one).
   void run_accounted(std::function<void()>& task);
 
+  /// Move the next queued task into \p out; false when the queue is
+  /// empty. Callers own the dequeue ordering, hence the held lock.
+  bool pop_task_locked(std::function<void()>& out) QF_REQUIRES(mutex_);
+
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  /// Guards the task queue and the lifecycle/quiescence state below;
+  /// lowest tier of the documented lock hierarchy (pool < mailbox <
+  /// registry) — the obs registry lock may be taken while this is held,
+  /// never the reverse.
+  Mutex mutex_;
+  std::queue<std::function<void()>> queue_ QF_GUARDED_BY(mutex_);
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::size_t in_flight_ QF_GUARDED_BY(mutex_) = 0;
+  bool stop_ QF_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace qforest::par

@@ -2,14 +2,18 @@
 
 #include <atomic>
 #include <cstdarg>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace qforest {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 std::atomic<std::FILE*> g_stream{nullptr};
-std::mutex g_mutex;
+/// Serializes line assembly only (no state below it) — top tier of the
+/// lock hierarchy (pool < mailbox < registry/log): nothing may be
+/// acquired while this is held.
+Mutex g_mutex;
 thread_local int t_rank = -1;
 
 const char* level_tag(LogLevel level) {
@@ -24,6 +28,8 @@ const char* level_tag(LogLevel level) {
 }
 
 void vlog(LogLevel level, const char* fmt, std::va_list args) {
+  // mo: relaxed — level/stream are independent tuning knobs; a racing
+  // setter at worst reroutes or drops one line.
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
@@ -31,7 +37,7 @@ void vlog(LogLevel level, const char* fmt, std::va_list args) {
   if (stream == nullptr) {
     stream = stderr;
   }
-  std::lock_guard<std::mutex> lock(g_mutex);
+  const LockGuard lock(g_mutex);
   if (t_rank >= 0) {
     std::fprintf(stream, "[qforest %s r%d] ", level_tag(level), t_rank);
   } else {
@@ -45,14 +51,17 @@ void vlog(LogLevel level, const char* fmt, std::va_list args) {
 }  // namespace
 
 void set_log_level(LogLevel level) {
+  // mo: relaxed — tuning knob; see vlog.
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel log_level() {
+  // mo: relaxed — tuning knob; see vlog.
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
 void set_log_stream(std::FILE* stream) {
+  // mo: relaxed — tuning knob; see vlog.
   g_stream.store(stream, std::memory_order_relaxed);
 }
 

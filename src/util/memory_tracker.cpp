@@ -8,6 +8,8 @@ std::atomic<std::size_t> MemoryTracker::total_{0};
 std::atomic<std::size_t> MemoryTracker::count_{0};
 
 void MemoryTracker::reset() {
+  // mo: relaxed (all stores) — statistics reset between experiment
+  // phases; callers ensure allocator quiescence.
   current_.store(0, std::memory_order_relaxed);
   peak_.store(0, std::memory_order_relaxed);
   total_.store(0, std::memory_order_relaxed);
@@ -15,10 +17,14 @@ void MemoryTracker::reset() {
 }
 
 void MemoryTracker::on_allocate(std::size_t bytes) {
+  // mo: relaxed — independent counters on the allocation hot path; only
+  // atomicity matters, readers snapshot after quiescence.
   total_.fetch_add(bytes, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t now =
       current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // mo: relaxed — monotone max fold via CAS; the loop re-reads on
+  // failure, so no ordering is required for correctness.
   std::size_t prev = peak_.load(std::memory_order_relaxed);
   while (now > prev &&
          !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
@@ -26,6 +32,7 @@ void MemoryTracker::on_allocate(std::size_t bytes) {
 }
 
 void MemoryTracker::on_deallocate(std::size_t bytes) {
+  // mo: relaxed — counter decrement; see on_allocate.
   current_.fetch_sub(bytes, std::memory_order_relaxed);
 }
 

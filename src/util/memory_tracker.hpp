@@ -17,6 +17,8 @@ namespace qforest {
 /// Process-global allocation counters, updated by TrackingAllocator.
 class MemoryTracker {
  public:
+  // mo: relaxed (all four readers) — statistics snapshot; experiments
+  // read after the allocating phase joined, so no ordering is needed.
   /// Currently outstanding bytes.
   static std::size_t current_bytes() {
     return current_.load(std::memory_order_relaxed);
@@ -27,10 +29,12 @@ class MemoryTracker {
   }
   /// Total bytes ever allocated since the last reset().
   static std::size_t total_bytes() {
+    // mo: relaxed — statistics snapshot; see current_bytes.
     return total_.load(std::memory_order_relaxed);
   }
   /// Number of allocations since the last reset().
   static std::size_t allocation_count() {
+    // mo: relaxed — statistics snapshot; see current_bytes.
     return count_.load(std::memory_order_relaxed);
   }
 

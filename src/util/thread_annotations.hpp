@@ -1,0 +1,191 @@
+#pragma once
+/// \file thread_annotations.hpp
+/// \brief Clang Thread Safety Analysis macros + annotated lock drop-ins.
+///
+/// Moves the repo's lock discipline into the type system: fields carry
+/// QF_GUARDED_BY(mutex), helpers that assume a held lock carry
+/// QF_REQUIRES(mutex), and the lock types below are capability-annotated
+/// so `clang -Wthread-safety` proves at compile time that every guarded
+/// access happens under its lock. On GCC (and any compiler without the
+/// attributes) every macro expands to nothing and qf::Mutex degrades to a
+/// plain std::mutex wrapper — zero cost, identical semantics.
+///
+/// Conventions (see ARCHITECTURE.md "Static analysis"):
+///  - every mutex member is a qf::Mutex, every scope lock a qf::LockGuard
+///    (or qf::UniqueLock when a CondVar wait needs to drop it);
+///  - condition-variable waits are written as explicit while-loops around
+///    CondVar::wait so the predicate reads of guarded fields stay inside
+///    the analyzed, lock-holding function body (a wait(lock, pred) lambda
+///    would be analyzed as a separate unannotated function and warn);
+///  - the documented lock hierarchy is pool < mailbox < registry
+///    (ThreadPool::mutex_ < Mailbox::wake_mutex_ < the obs/log registry
+///    mutexes): a later-tier lock may be acquired while an earlier-tier
+///    lock is held, never the reverse. tools/qf_check extracts the actual
+///    nesting graph and fails on cycles.
+///
+/// The macro set mirrors the canonical names from the Clang documentation
+/// (capability, scoped_lockable, guarded_by, ...), prefixed QF_.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(QFOREST_NO_THREAD_SAFETY_ANALYSIS)
+#define QF_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define QF_THREAD_ANNOTATION_(x)  // no-op off-Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "role", ...).
+#define QF_CAPABILITY(x) QF_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type that acquires in its ctor and releases in its dtor.
+#define QF_SCOPED_CAPABILITY QF_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field/variable may only be read or written while \p x is held.
+#define QF_GUARDED_BY(x) QF_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointee (not the pointer) is protected by \p x.
+#define QF_PT_GUARDED_BY(x) QF_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function may only be called while the listed capabilities are held.
+#define QF_REQUIRES(...) QF_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define QF_ACQUIRE(...) QF_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (no longer held on return).
+#define QF_RELEASE(...) QF_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the success value.
+#define QF_TRY_ACQUIRE(...) \
+  QF_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (non-reentrant locks; prevents self-deadlock).
+#define QF_EXCLUDES(...) QF_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares lock-ordering edges for the analysis (beta in Clang).
+#define QF_ACQUIRED_BEFORE(...) \
+  QF_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define QF_ACQUIRED_AFTER(...) \
+  QF_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the capability protecting its result.
+#define QF_RETURN_CAPABILITY(x) QF_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Runtime assertion that the capability is held (trusted by analysis).
+#define QF_ASSERT_CAPABILITY(x) QF_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch: disable the analysis for one function. Use only with a
+/// comment explaining why the discipline cannot be expressed.
+#define QF_NO_THREAD_SAFETY_ANALYSIS \
+  QF_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace qforest {
+
+/// std::mutex with the capability annotation: lockable by the analysis,
+/// byte-identical behavior. native() exposes the wrapped mutex for the
+/// CondVar adopt/release dance only — never lock through it directly.
+class QF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() QF_ACQUIRE() { m_.lock(); }
+  void unlock() QF_RELEASE() { m_.unlock(); }
+  bool try_lock() QF_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  [[nodiscard]] std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::lock_guard drop-in over qf::Mutex. Scoped capability: the
+/// analysis knows the mutex is held between construction and the end of
+/// the enclosing scope.
+class QF_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) QF_ACQUIRE(m) : mu_(m) { mu_.lock(); }
+  ~LockGuard() QF_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock drop-in over qf::Mutex: relockable scoped capability,
+/// the lock type CondVar waits on. Only the locked-on-construction mode
+/// is provided — deferred/adopted construction would make the capability
+/// state ambiguous to the analysis.
+class QF_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) QF_ACQUIRE(m) : mu_(m) { mu_.lock(); }
+  ~UniqueLock() QF_RELEASE() {
+    if (held_) {
+      mu_.unlock();
+    }
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() QF_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() QF_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+  [[nodiscard]] Mutex& mutex() { return mu_; }
+  [[nodiscard]] bool owns_lock() const { return held_; }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// std::condition_variable over qf::UniqueLock. wait() carries no
+/// acquire/release annotation: the lock is held on entry and on return
+/// (released only inside the wait), so the caller's capability state is
+/// unchanged — guarded predicate reads around the wait stay provable.
+/// Write waits as explicit loops:
+///
+/// \code
+///   UniqueLock lock(mutex_);
+///   while (!ready_) {        // ready_ is QF_GUARDED_BY(mutex_)
+///     cv_.wait(lock);
+///   }
+/// \endcode
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release \p lk, sleep, reacquire. \p lk must be locked.
+  void wait(UniqueLock& lk) {
+    std::unique_lock<std::mutex> native(lk.mutex().native(), std::adopt_lock);
+    cv_.wait(native);
+    // The std::unique_lock was a borrowed view of a lock qf::UniqueLock
+    // still owns; releasing the view keeps it from double-unlocking.
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace qforest
+
+/// The ISSUE-10 spelling: qf::Mutex, qf::LockGuard, qf::UniqueLock,
+/// qf::CondVar name the same types.
+namespace qf = qforest;  // NOLINT(misc-unused-alias-decls)

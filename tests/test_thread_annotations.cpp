@@ -1,0 +1,165 @@
+// Behavioral tests for the annotated lock drop-ins in
+// src/util/thread_annotations.hpp: qf::Mutex / LockGuard / UniqueLock /
+// CondVar must be byte-for-byte std::mutex semantics (the annotations are
+// compile-time only, and no-ops off Clang). The interesting cases are the
+// ones the obs/par migration leans on: the CondVar adopt/release wait
+// (the lock must still be owned by the qf::UniqueLock afterwards), the
+// UniqueLock manual unlock/relock cycle, and the Mailbox-style empty
+// LockGuard wake handshake.
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+TEST(ThreadAnnotations, MutexProvidesExclusion) {
+  qf::Mutex mutex;
+  int counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        const qf::LockGuard lock(mutex);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(ThreadAnnotations, MutexTryLockFailsWhileHeld) {
+  qf::Mutex mutex;
+  mutex.lock();
+  std::atomic<bool> acquired{true};
+  // try_lock from another thread: locking a std::mutex the same thread
+  // already holds is UB, so probe cross-thread.
+  std::thread probe([&] {
+    // mo: relaxed — joined before the read below; join orders it.
+    acquired.store(mutex.try_lock(), std::memory_order_relaxed);
+  });
+  probe.join();
+  EXPECT_FALSE(acquired.load(std::memory_order_relaxed));  // mo: see store
+  mutex.unlock();
+  EXPECT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(ThreadAnnotations, UniqueLockUnlockRelockRoundTrip) {
+  qf::Mutex mutex;
+  qf::UniqueLock lock(mutex);
+  EXPECT_TRUE(lock.owns_lock());
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  EXPECT_TRUE(mutex.try_lock());  // actually released
+  mutex.unlock();
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+  // Destructor releases the reacquired lock; a second guard proves it.
+  // (Scoped so the UniqueLock dies before the check.)
+}
+
+TEST(ThreadAnnotations, UniqueLockDestructorReleasesOnlyIfHeld) {
+  qf::Mutex mutex;
+  {
+    qf::UniqueLock lock(mutex);
+    lock.unlock();
+  }  // dtor must not double-unlock
+  {
+    const qf::LockGuard lock(mutex);  // still lockable
+  }
+  SUCCEED();
+}
+
+TEST(ThreadAnnotations, CondVarWaitReleasesAndReacquires) {
+  qf::Mutex mutex;
+  qf::CondVar cv;
+  bool ready = false;    // guarded by mutex
+  bool consumed = false;  // guarded by mutex
+  std::thread waiter([&] {
+    qf::UniqueLock lock(mutex);
+    while (!ready) {
+      cv.wait(lock);
+    }
+    // wait() reacquired: this guarded write must be race-free (TSAN leg
+    // would flag it otherwise) and the lock still owned.
+    EXPECT_TRUE(lock.owns_lock());
+    consumed = true;
+  });
+  {
+    // If wait() failed to release the mutex this lock() would deadlock.
+    const qf::LockGuard lock(mutex);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  const qf::LockGuard lock(mutex);
+  EXPECT_TRUE(consumed);
+}
+
+TEST(ThreadAnnotations, CondVarNotifyAllWakesEveryWaiter) {
+  qf::Mutex mutex;
+  qf::CondVar cv;
+  bool go = false;
+  int awake = 0;
+  constexpr int kWaiters = 3;
+  std::vector<std::thread> threads;
+  threads.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    threads.emplace_back([&] {
+      qf::UniqueLock lock(mutex);
+      while (!go) {
+        cv.wait(lock);
+      }
+      ++awake;
+    });
+  }
+  {
+    const qf::LockGuard lock(mutex);
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& th : threads) {
+    th.join();
+  }
+  const qf::LockGuard lock(mutex);
+  EXPECT_EQ(awake, kWaiters);
+}
+
+TEST(ThreadAnnotations, EmptyGuardWakeHandshake) {
+  // The Mailbox::push protocol: publish the payload, take-and-drop the
+  // wake mutex, notify. The empty critical section orders the publish
+  // against a sleeper's predicate check so the notify cannot land in the
+  // window between "predicate saw false" and "wait started".
+  qf::Mutex mutex;
+  qf::CondVar cv;
+  std::atomic<bool> payload{false};
+  std::thread sleeper([&] {
+    qf::UniqueLock lock(mutex);
+    // mo: acquire — pairs with the release publish in the main thread.
+    while (!payload.load(std::memory_order_acquire)) {
+      cv.wait(lock);
+    }
+  });
+  // mo: release — publishes before the wake handshake below.
+  payload.store(true, std::memory_order_release);
+  {
+    const qf::LockGuard lock(mutex);
+  }
+  cv.notify_one();
+  sleeper.join();
+  SUCCEED();
+}
+
+}  // namespace

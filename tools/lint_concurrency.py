@@ -27,10 +27,19 @@ statics fixed in PR 5) and that clang-tidy has no check for:
                     clock jumps (NTP, DST) so intervals measured with it
                     go negative; durations, trace timestamps and timeouts
                     must use steady_clock.
+  sleep-poll        sleep_for / sleep_until inside a loop — a sleep-poll
+                    retry loop burns latency and hides the missing wakeup
+                    protocol; wait on a condition variable (see
+                    Mailbox::pop_blocking) or the pool's task futures.
+  stale-allow       a `lint-allow(<rule>)` comment on a line where <rule>
+                    no longer fires — stale suppressions hide real future
+                    findings and must be deleted, so they are errors.
 
 A finding is suppressed by a trailing `// lint-allow(<rule>): <reason>`
 comment on the same line; the reason is mandatory and the suppression is
-reported in the summary so every exemption stays visible.
+reported in the summary (with file:line) so every exemption stays
+visible. tools/qf_check (the AST-based checker) honors the same
+spelling.
 
 Usage: lint_concurrency.py [--quiet] DIR_OR_FILE...
 Exit status 1 when any unsuppressed finding remains.
@@ -51,6 +60,9 @@ ALLOWED_TYPE_RE = re.compile(
     r"std::atomic\b|std::mutex\b|std::shared_mutex\b|std::once_flag\b"
     r"|std::condition_variable\b|ThreadPool\b|std::latch\b|std::barrier\b"
     r"|obs::Counter\b|obs::Histogram\b"
+    # The annotated drop-ins (src/util/thread_annotations.hpp) are as
+    # internally synchronized as the std types they wrap.
+    r"|\bMutex\b|\bCondVar\b"
 )
 
 QUALIFIER_ALLOW_RE = re.compile(r"\b(constexpr|thread_local)\b")
@@ -64,6 +76,10 @@ STATIC_DECL_RE = re.compile(
 )
 
 ALLOW_RE = re.compile(r"//\s*lint-allow\((?P<rule>[\w-]+)\):\s*(?P<reason>.+)")
+
+SLEEP_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
+LOOP_HEAD_RE = re.compile(r"\b(?:for|while)\s*\(|\bdo\s*(?:\{|$)")
+DO_WHILE_TAIL_RE = re.compile(r"^\s*\}\s*while\s*\(")
 
 ATOMIC_REF_BOOL_RE = re.compile(r"std::atomic_ref\s*<\s*bool\s*>")
 DETACHED_THREAD_RE = re.compile(r"\.\s*detach\s*\(\s*\)")
@@ -140,16 +156,63 @@ def lint_file(path: pathlib.Path, quiet: bool):
     except OSError as e:
         print(f"{path}: unreadable: {e}", file=sys.stderr)
         return findings, suppressed
+
+    # Approximate loop tracking for the sleep-poll rule: brace depth plus
+    # the depths at which loop bodies opened. A `for`/`while`/`do` head
+    # arms `pending`; the next `{` (from the head onward, so an earlier
+    # `if (…) {` on the same line is not misattributed) converts it into
+    # a loop scope, and a braceless single-statement body disarms it at
+    # the first statement-ending line after the head.
+    depth = 0
+    loop_depths = []
+    pending_loop = False
+    pending_line = 0
+
     for lineno, line in enumerate(text.splitlines(), start=1):
+        code = line.split("//", 1)[0]
         hits = list(lint_line(line))
-        if not hits:
-            continue
+
+        m_loop = (None if DO_WHILE_TAIL_RE.match(code)
+                  else LOOP_HEAD_RE.search(code))
+        if SLEEP_RE.search(code) and (loop_depths or pending_loop or m_loop):
+            hits.append(("sleep-poll",
+                         "sleep inside a loop — a sleep-poll retry loop; "
+                         "wait on a condition variable (Mailbox::"
+                         "pop_blocking) or a task future instead"))
+
+        loop_pos = m_loop.start() if m_loop else None
+        for i, ch in enumerate(code):
+            if loop_pos is not None and i >= loop_pos:
+                pending_loop = True
+                pending_line = lineno
+                loop_pos = None
+            if ch == "{":
+                depth += 1
+                if pending_loop:
+                    loop_depths.append(depth)
+                    pending_loop = False
+            elif ch == "}":
+                if loop_depths and loop_depths[-1] == depth:
+                    loop_depths.pop()
+                depth = max(0, depth - 1)
+        if loop_pos is not None:  # head after the last brace on the line
+            pending_loop = True
+            pending_line = lineno
+        if (pending_loop and lineno > pending_line
+                and ";" in code and "{" not in code):
+            pending_loop = False  # braceless body ended
+
         allow = ALLOW_RE.search(line)
         for rule, message in hits:
             if allow and allow.group("rule") == rule:
                 suppressed.append((path, lineno, rule, allow.group("reason")))
             else:
                 findings.append((path, lineno, rule, message))
+        if allow and allow.group("rule") not in {r for r, _ in hits}:
+            findings.append(
+                (path, lineno, "stale-allow",
+                 f"lint-allow({allow.group('rule')}) suppresses nothing "
+                 "on this line — the finding is gone; delete the comment"))
     return findings, suppressed
 
 

@@ -1,0 +1,51 @@
+// qf_check fixture: blocking-while-locked — a blocking primitive
+// (direct, or transitively through the call graph) reached while a
+// qf::Mutex is held. Condvar waits that drop the only held lock are the
+// documented exemption.
+
+#include <chrono>
+#include <thread>
+
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class Throttle {
+ public:
+  void direct_sleep_under_lock() {
+    const qforest::LockGuard lock(gate_mutex_);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));  // FINDING: blocking-while-locked
+  }
+
+  void helper_that_blocks() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // no lock: OK
+  }
+
+  void transitive_block_under_lock() {
+    const qforest::LockGuard lock(gate_mutex_);
+    helper_that_blocks();  // FINDING: blocking-while-locked (transitive)
+  }
+
+  void condvar_wait_is_exempt() {
+    qforest::UniqueLock lock(gate_mutex_);
+    while (!ready_qf7_) {
+      gate_cv_.wait(lock);  // OK: drops the only held lock
+    }
+  }
+
+  void sleep_outside_lock() {
+    {
+      const qforest::LockGuard lock(gate_mutex_);
+      ready_qf7_ = true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // OK
+  }
+
+ private:
+  qforest::Mutex gate_mutex_;
+  qforest::CondVar gate_cv_;
+  bool ready_qf7_ QF_GUARDED_BY(gate_mutex_) = false;
+};
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// qf_check fixture: guarded-by — a QF_GUARDED_BY member accessed without
+// its lock. This file is ALSO the CI Clang negative test: compiled with
+// `clang++ -Wthread-safety -Werror=thread-safety -I src` it must FAIL,
+// proving the compiler leg and qf_check agree on this violation class.
+
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class BankVault {
+ public:
+  void deposit_locked(int amount) {
+    const qforest::LockGuard lock(vault_mutex_);
+    balance_qf7_ += amount;  // OK: lock held
+  }
+
+  int peek_unlocked() const {
+    return balance_qf7_;  // FINDING: guarded-by (and -Wthread-safety error)
+  }
+
+  void audited_helper() QF_REQUIRES(vault_mutex_) {
+    balance_qf7_ -= 1;  // OK: caller must hold the lock
+  }
+
+  void suppressed_access() {
+    balance_qf7_ = 0;  // qf-allow(guarded-by): fixture exemption
+  }
+
+ private:
+  mutable qforest::Mutex vault_mutex_;
+  int balance_qf7_ QF_GUARDED_BY(vault_mutex_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// qf_check fixture: lock-order — two functions acquiring the same pair
+// of mutexes in opposite orders form a cycle in the nested-acquisition
+// graph; qf_check must report lock-order-cycle (and the DOT artifact
+// shows the ring).
+
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+class Transfer {
+ public:
+  void debit_then_credit() {
+    const qforest::LockGuard a(debit_mutex_);
+    const qforest::LockGuard b(credit_mutex_);  // edge: debit -> credit
+    (void)this;
+  }
+
+  void credit_then_debit() {
+    const qforest::LockGuard b(credit_mutex_);
+    const qforest::LockGuard a(debit_mutex_);  // FINDING: lock-order-cycle
+    (void)this;
+  }
+
+ private:
+  qforest::Mutex debit_mutex_;
+  qforest::Mutex credit_mutex_;
+};
+
+}  // namespace fixture

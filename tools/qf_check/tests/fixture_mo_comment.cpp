@@ -1,0 +1,39 @@
+// qf_check fixture: mo-comment — every memory_order_* site needs a
+// `// mo:` justification on its line or in the contiguous comment block
+// above. Seeds one unjustified site between two justified ones.
+// NOT part of the build: parsed by qf_check only (and by the CI Clang
+// thread-safety leg, where it must compile cleanly — the violations here
+// are comment-discipline ones, invisible to the compiler).
+
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> g_counter{0};
+std::atomic<bool> g_flag{false};
+
+inline void justified_same_line() {
+  g_counter.fetch_add(1, std::memory_order_relaxed);  // mo: relaxed — tally
+}
+
+inline void justified_block_above() {
+  // mo: relaxed — gate flag; readers only branch on it.
+  g_flag.store(true, std::memory_order_relaxed);
+}
+
+inline int finding_unjustified() {
+  return g_counter.load(std::memory_order_acquire);  // FINDING: mo-comment
+}
+
+inline void blank_line_breaks_coverage() {
+  // mo: relaxed — covers only the store below, blank line ends the run.
+  g_counter.store(0, std::memory_order_relaxed);
+
+  g_flag.store(false, std::memory_order_release);  // FINDING: mo-comment
+}
+
+inline void suppressed_site() {
+  g_counter.store(1, std::memory_order_relaxed);  // qf-allow(mo-comment): fixture exemption
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// qf_check fixture: unnamed-raii — an RAII guard constructed as a
+// discarded temporary dies at the end of the full expression, silently
+// protecting nothing. Brace-initialized forms are used where a
+// parenthesized one would be a declaration (most vexing parse).
+
+#include "util/thread_annotations.hpp"
+
+namespace fixture {
+
+// Stand-in for obs::TraceSpan (two-literal constructor).
+struct TraceSpan {
+  TraceSpan(const char*, const char*) {}
+};
+
+class Pipeline {
+ public:
+  void run() {
+    TraceSpan("fixture", "run");  // FINDING: unnamed-raii (dies instantly)
+    qforest::LockGuard{work_mutex_};  // FINDING: unnamed-raii
+    const qforest::LockGuard lock(work_mutex_);  // OK: named
+    const TraceSpan span("fixture", "inner");  // OK: named
+    steps_qf7_ += 1;
+  }
+
+  void suppressed_flush() {
+    // The empty-guard wake handshake (see Mailbox::push) is the one
+    // legitimate unnamed-ish use — but it names the guard; a truly
+    // unnamed one needs an explicit exemption:
+    qforest::LockGuard{work_mutex_};  // qf-allow(unnamed-raii): fixture exemption
+  }
+
+ private:
+  qforest::Mutex work_mutex_;
+  int steps_qf7_ QF_GUARDED_BY(work_mutex_) = 0;
+};
+
+}  // namespace fixture
